@@ -1,0 +1,228 @@
+package clustersim
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper (each regenerates the corresponding experiment at reduced scale;
+// run `cmd/clustersim all` for full-scale tables), plus raw simulator
+// throughput benchmarks.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"clustersim/internal/experiments"
+)
+
+// benchOpts keeps per-iteration work bounded so the harness completes in
+// minutes; the drivers are identical to the full-scale CLI runs.
+func benchOpts() experiments.Options {
+	return experiments.Options{Insts: 15_000}
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ConfigTable(discard{})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Attribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AttributeFigure2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 5 and 6 come from the same focused-policy runs; the driver
+// produces both.
+func BenchmarkFigure5And6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure14(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure15(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoCOracle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LoCOracle(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsumers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Consumers(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFwdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FwdSweep(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStallSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.StallSweep(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlackStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SlackStudy(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectorCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DetectorCompare(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WindowSweep(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBandwidthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BandwidthSweep(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Replication(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupSteer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GroupSteer(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictorSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PredictorSweep(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkICost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ICost(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Raw simulator throughput: instructions simulated per second for each
+// configuration under the final policy stack.
+func benchSim(b *testing.B, clusters int, policy string) {
+	tr, err := GenerateTrace("vpr", 50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSim(NewConfig(clusters), tr, SimOptions{Policy: policy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.Run()
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+func BenchmarkSim1x8w(b *testing.B) { benchSim(b, 1, "focused") }
+func BenchmarkSim2x4w(b *testing.B) { benchSim(b, 2, "focused") }
+func BenchmarkSim4x2w(b *testing.B) { benchSim(b, 4, "focused") }
+func BenchmarkSim8x1w(b *testing.B) { benchSim(b, 8, "focused") }
+
+func BenchmarkSim8x1wProactive(b *testing.B) { benchSim(b, 8, "proactive") }
+
+func BenchmarkListScheduler(b *testing.B) {
+	tr, err := GenerateTrace("gzip", 50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mono, err := NewSim(NewConfig(1), tr, SimOptions{Policy: "depbased"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mono.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mono.IdealizedSchedule(NewConfig(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Command clustersim regenerates the tables and figures of Salverda &
+// Zilles, "A Criticality Analysis of Clustering in Superscalar
+// Processors" (MICRO 2005).
+//
+// Usage:
+//
+//	clustersim [flags] <experiment> [<experiment> ...]
+//
+// Experiments:
+//
+//	config      Table 1 (machine configurations)
+//	fig2        idealized list scheduling
+//	fig2-attrib convergent-dataflow attribution of Figure 2 (Section 2.2)
+//	fig4        focused steering & scheduling slowdowns
+//	fig5        critical-path CPI breakdown
+//	fig6        contention/forwarding event breakdowns
+//	fig8        LoC value distribution
+//	fig14       the three policies (l, s, p) and penalty reductions
+//	fig15       achieved vs available ILP (8x1w)
+//	loc-oracle  Section 4's list-scheduler knowledge study
+//	consumers   Section 6's producer/consumer statistics
+//	all         everything above, in paper order
+//
+// Flags:
+//
+//	-n int         instructions per benchmark (default 200000)
+//	-seed uint     workload seed (default 1)
+//	-fwd int       inter-cluster forwarding latency (default 2)
+//	-benchmarks s  comma-separated subset (default: all twelve)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clustersim/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "instructions per benchmark")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	fwd := flag.Int("fwd", 2, "inter-cluster forwarding latency (cycles)")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset")
+	report := flag.String("report", "", "write a single markdown report of all experiments to this file")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: clustersim [flags] <experiment> ...")
+		fmt.Fprintln(os.Stderr, "experiments: config fig2 fig2-attrib fig4 fig5 fig6 fig8 fig14 fig14-detail fig15 loc-oracle consumers fwd-sweep stall-sweep slack detector-compare window-sweep bandwidth-sweep replication icost group-steer predictor-sweep workloads future-work all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	opts := experiments.Options{Insts: *n, Seed: *seed, Fwd: *fwd}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	if *report != "" {
+		if err := writeReport(*report, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *report)
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"config", "fig2", "fig2-attrib", "fig4", "fig5", "fig6",
+			"fig8", "fig14", "fig15", "loc-oracle", "consumers", "fwd-sweep", "stall-sweep",
+			"slack", "detector-compare", "window-sweep", "bandwidth-sweep", "replication", "icost", "group-steer", "predictor-sweep", "workloads", "future-work"}
+	}
+	for _, exp := range args {
+		start := time.Now()
+		if err := run(exp, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %s: %v\n", exp, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s took %.1fs]\n\n", exp, time.Since(start).Seconds())
+	}
+}
+
+// fig5Cache shares the expensive focused-policy runs between fig5 and
+// fig6 when both are requested in one invocation.
+var fig5Cache *experiments.Figure5Result
+
+func fig5(opts experiments.Options) (*experiments.Figure5Result, error) {
+	if fig5Cache != nil {
+		return fig5Cache, nil
+	}
+	r, err := experiments.Figure5(opts)
+	if err == nil {
+		fig5Cache = r
+	}
+	return r, err
+}
+
+func run(exp string, opts experiments.Options) error {
+	w := os.Stdout
+	switch exp {
+	case "config":
+		experiments.ConfigTable(w)
+	case "fig2":
+		r, err := experiments.Figure2(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "fig2-attrib":
+		r, err := experiments.AttributeFigure2(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "fig4":
+		r, err := experiments.Figure4(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "fig5":
+		r, err := fig5(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "fig6":
+		r, err := fig5(opts)
+		if err != nil {
+			return err
+		}
+		r.RenderFigure6(w)
+	case "fig8":
+		r, err := experiments.Figure8(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "fig14":
+		r, err := experiments.Figure14(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "fig14-detail":
+		r, err := experiments.Figure14(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+		r.RenderPerBench(w)
+	case "fig15":
+		r, err := experiments.Figure15(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "loc-oracle":
+		r, err := experiments.LoCOracle(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "consumers":
+		r, err := experiments.Consumers(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "fwd-sweep":
+		r, err := experiments.FwdSweep(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "stall-sweep":
+		r, err := experiments.StallSweep(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "slack":
+		r, err := experiments.SlackStudy(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "detector-compare":
+		r, err := experiments.DetectorCompare(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "window-sweep":
+		r, err := experiments.WindowSweep(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "bandwidth-sweep":
+		r, err := experiments.BandwidthSweep(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "replication":
+		r, err := experiments.Replication(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "icost":
+		r, err := experiments.ICost(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "group-steer":
+		r, err := experiments.GroupSteer(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "predictor-sweep":
+		r, err := experiments.PredictorSweep(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "workloads":
+		r, err := experiments.Characterize(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "future-work":
+		r, err := experiments.FutureWork(opts)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	default:
+		return fmt.Errorf("unknown experiment (see -h)")
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"clustersim/internal/experiments"
+)
+
+func tinyOpts() experiments.Options {
+	return experiments.Options{Insts: 4000, Benchmarks: []string{"vpr"}}
+}
+
+func TestRunAllExperimentNames(t *testing.T) {
+	for _, exp := range []string{
+		"config", "fig2", "fig2-attrib", "fig4", "fig5", "fig6", "fig8",
+		"fig14", "fig14-detail", "fig15", "loc-oracle", "consumers", "fwd-sweep",
+		"stall-sweep", "slack", "detector-compare", "window-sweep",
+		"bandwidth-sweep", "replication", "icost", "group-steer", "predictor-sweep", "workloads", "future-work",
+	} {
+		if err := run(exp, tinyOpts()); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("nope", tinyOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig6ReusesFig5Runs(t *testing.T) {
+	fig5Cache = nil
+	if err := run("fig5", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if fig5Cache == nil {
+		t.Fatal("fig5 did not populate the cache")
+	}
+	cached := fig5Cache
+	if err := run("fig6", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if fig5Cache != cached {
+		t.Error("fig6 re-ran the fig5 simulations")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	path := t.TempDir() + "/report.md"
+	if err := writeReport(path, tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# clustersim results report", "Figure 14", "Figure 2", "ablation"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

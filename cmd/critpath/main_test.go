@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clustersim"
+	"clustersim/internal/trace"
+)
+
+func TestRunBenchmark(t *testing.T) {
+	if err := run("gzip", "", 3000, 1, 8, "stall-over-steer", 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	tr, err := clustersim.GenerateTrace("vpr", 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("", path, 0, 1, 4, "focused", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 100, 1, 4, "focused", 0); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("nope", "", 100, 1, 4, "focused", 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run("vpr", "", 100, 1, 4, "bogus", 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run("", "/nonexistent", 0, 1, 4, "focused", 0); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

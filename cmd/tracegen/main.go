@@ -1,0 +1,97 @@
+// Command tracegen generates and inspects synthetic benchmark traces.
+//
+// Usage:
+//
+//	tracegen -bench vpr -n 100000 -o vpr.trace     # write a trace file
+//	tracegen -inspect vpr.trace                    # summarize a trace file
+//	tracegen -bench vpr -n 100000                  # summarize without writing
+//	tracegen -list                                 # list benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to generate")
+	n := flag.Int("n", 100_000, "instructions to generate")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	out := flag.String("o", "", "output trace file")
+	inspect := flag.String("inspect", "", "trace file to summarize")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if err := run(*bench, *n, *seed, *out, *inspect, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, n int, seed uint64, out, inspect string, list bool) error {
+	switch {
+	case list:
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	case inspect != "":
+		f, err := os.Open(inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		summarize(inspect, tr)
+		return nil
+	case bench != "":
+		tr, err := workload.Generate(bench, n, seed)
+		if err != nil {
+			return err
+		}
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := trace.Write(f, tr); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d instructions to %s\n", tr.Len(), out)
+		}
+		summarize(bench, tr)
+		return nil
+	}
+	return fmt.Errorf("nothing to do: pass -bench, -inspect or -list (see -h)")
+}
+
+func summarize(name string, tr *trace.Trace) {
+	s := tr.Summarize()
+	fmt.Printf("%s: %d instructions\n", name, s.Total)
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		if s.Count[op] == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s %8d (%5.1f%%)\n", op, s.Count[op], s.Frac(op)*100)
+	}
+	if s.Branches > 0 {
+		fmt.Printf("  branches taken: %.1f%%\n", float64(s.Taken)/float64(s.Branches)*100)
+	}
+	pcs := map[uint64]bool{}
+	for i := range tr.Insts {
+		pcs[tr.Insts[i].PC] = true
+	}
+	fmt.Printf("  static footprint: %d PCs\n", len(pcs))
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateWriteInspect(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "vpr.trace")
+	if err := run("vpr", 2000, 1, out, "", false); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if err := run("", 0, 0, "", out, false); err != nil {
+		t.Fatalf("inspect failed: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	if err := run("", 0, 0, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", 0, 0, "", "", false); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+	if err := run("nope", 100, 1, "", "", false); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run("", 0, 0, "", "/nonexistent/file", false); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	if err := run("vpr", 100, 1, "/nonexistent/dir/x.trace", "", false); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package clustersim_test
+
+import (
+	"fmt"
+	"log"
+
+	"clustersim"
+)
+
+// The four machine configurations partition Table 1's monolithic 8-wide
+// machine.
+func ExampleNewConfig() {
+	for _, k := range []int{1, 2, 4, 8} {
+		cfg := clustersim.NewConfig(k)
+		fmt.Printf("%s: window/cluster=%d mem-ports/cluster=%d\n",
+			cfg.Name(), cfg.WindowPerCluster, cfg.MemPerCluster)
+	}
+	// Output:
+	// 1x8w: window/cluster=128 mem-ports/cluster=4
+	// 2x4w: window/cluster=64 mem-ports/cluster=2
+	// 4x2w: window/cluster=32 mem-ports/cluster=1
+	// 8x1w: window/cluster=16 mem-ports/cluster=1
+}
+
+// The twelve synthetic workloads carry the SPEC2000 integer names.
+func ExampleBenchmarks() {
+	names := clustersim.Benchmarks()
+	fmt.Println(len(names), names[0], names[len(names)-1])
+	// Output: 12 bzip2 vpr
+}
+
+// A complete measurement: clustered vs monolithic CPI plus critical-path
+// attribution of the difference.
+func ExampleNewSim() {
+	tr, err := clustersim.GenerateTrace("gzip", 50_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := clustersim.NewSim(clustersim.NewConfig(8), tr,
+		clustersim.SimOptions{Policy: "stall-over-steer"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.Run()
+	a, err := sim.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d instructions; attribution covers runtime: %v\n",
+		res.Insts, a.Breakdown.Total() > 0)
+	// Output: ran 50004 instructions; attribution covers runtime: true
+}
+
+// The idealized study (Figure 2): list-schedule a monolithic run's trace
+// onto a clustered configuration.
+func ExampleSim_IdealizedSchedule() {
+	tr, err := clustersim.GenerateTrace("eon", 20_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mono, err := clustersim.NewSim(clustersim.NewConfig(1), tr,
+		clustersim.SimOptions{Policy: "depbased"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mono.Run()
+	s1, err := mono.IdealizedSchedule(clustersim.NewConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s8, err := mono.IdealizedSchedule(clustersim.NewConfig(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("idealized 8x1w within 5%% of monolithic: %v\n",
+		float64(s8.Makespan) < 1.05*float64(s1.Makespan))
+	// Output: idealized 8x1w within 5% of monolithic: true
+}

@@ -1,0 +1,60 @@
+// criticality demonstrates the paper's analysis machinery: it runs a
+// benchmark with the online critical-path detector, prints the Figure 8
+// LoC histogram, the most critical static instructions, and the Section
+// 6 producer/consumer statistics that motivate proactive load-balancing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"clustersim"
+)
+
+func main() {
+	bench := flag.String("bench", "vpr", "benchmark to analyze")
+	n := flag.Int("n", 200_000, "instructions")
+	flag.Parse()
+
+	tr, err := clustersim.GenerateTrace(*bench, *n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := clustersim.NewSim(clustersim.NewConfig(4), tr,
+		clustersim.SimOptions{Policy: "focused", TrackExact: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := sim.Run()
+	fmt.Printf("%s on 4x2w: CPI %.3f, %.2f%% branches mispredicted\n\n",
+		*bench, res.CPI(), res.MispredictRate()*100)
+
+	// Figure 8: likelihood-of-criticality distribution.
+	h, err := sim.LoCHistogram(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("LoC distribution (% of dynamic instructions per 5% bin):")
+	for i, v := range h {
+		if v < 0.05 {
+			continue
+		}
+		fmt.Printf("  %3d-%3d%% %6.1f%% %s\n", i*5, i*5+5, v,
+			strings.Repeat("#", int(v/2)))
+	}
+
+	// Section 6: producer/consumer criticality.
+	cs, err := sim.ConsumerStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nproducer/consumer analysis over %d values:\n", cs.Values)
+	fmt.Printf("  most-critical consumer not first in fetch order: %.0f%% of critical multi-consumer values\n",
+		cs.MCCNotFirstFrac()*100)
+	fmt.Printf("  statically unique most-critical consumer: %.0f%% of values\n",
+		cs.StaticallyUniqueFrac*100)
+	fmt.Printf("  consumers with extreme (bimodal) MCC tendency: %.0f%%\n",
+		cs.BimodalFrac*100)
+}

@@ -1,0 +1,51 @@
+// policycompare walks the paper's policy progression — dependence-based,
+// focused, LoC scheduling, stall-over-steer, proactive load-balancing —
+// across the three clustered configurations and prints the normalized
+// CPI of each, reproducing the structure of Figure 14 for one benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clustersim"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark to run")
+	n := flag.Int("n", 150_000, "instructions")
+	flag.Parse()
+
+	tr, err := clustersim.GenerateTrace(*bench, *n, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: monolithic with LoC scheduling (Figure 14's reference).
+	mono, err := clustersim.NewSim(clustersim.NewConfig(1), tr,
+		clustersim.SimOptions{Policy: "loc"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseCPI := mono.Run().CPI()
+
+	fmt.Printf("%s (%d insts), normalized CPI vs 1x8w:\n", *bench, *n)
+	fmt.Printf("%-18s", "policy")
+	for _, k := range []int{2, 4, 8} {
+		fmt.Printf("%10s", clustersim.NewConfig(k).Name())
+	}
+	fmt.Println()
+	for _, policy := range clustersim.PolicyNames() {
+		fmt.Printf("%-18s", policy)
+		for _, k := range []int{2, 4, 8} {
+			sim, err := clustersim.NewSim(clustersim.NewConfig(k), tr,
+				clustersim.SimOptions{Policy: policy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.3f", sim.Run().CPI()/baseCPI)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a workload, simulate it on a monolithic and a
+// clustered machine, and compare CPIs — the paper's core measurement in
+// a dozen lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clustersim"
+)
+
+func main() {
+	// Synthesize 200k dynamic instructions of the vpr-like workload
+	// (spine-and-ribs loops with a hard-to-predict rib branch, Fig. 7).
+	tr, err := clustersim.GenerateTrace("vpr", 200_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The monolithic 8-wide baseline (1x8w)...
+	mono, err := clustersim.NewSim(clustersim.NewConfig(1), tr,
+		clustersim.SimOptions{Policy: "focused"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := mono.Run()
+
+	// ...versus the same resources split into four 2-wide clusters with
+	// focused (criticality-predicting) steering and scheduling.
+	clus, err := clustersim.NewSim(clustersim.NewConfig(4), tr,
+		clustersim.SimOptions{Policy: "focused"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := clus.Run()
+
+	fmt.Printf("1x8w: CPI %.3f (IPC %.2f)\n", base.CPI(), base.IPC())
+	fmt.Printf("4x2w: CPI %.3f (IPC %.2f) — %.1f%% slower\n",
+		res.CPI(), res.IPC(), (res.CPI()/base.CPI()-1)*100)
+
+	// Where did the lost cycles go? Walk the critical path.
+	a, err := clus.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := float64(res.Insts)
+	fmt.Printf("critical path: %.3f CPI forwarding delay, %.3f CPI contention\n",
+		float64(a.Breakdown.FwdDelay)/n, float64(a.Breakdown.Contention)/n)
+}

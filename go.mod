@@ -1,0 +1,3 @@
+module clustersim
+
+go 1.22

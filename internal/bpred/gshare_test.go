@@ -1,0 +1,160 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/xrand"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	g := New()
+	pc := uint64(0x4000)
+	for i := 0; i < 64; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Fatal("always-taken branch predicted not-taken after training")
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	g := New()
+	pc := uint64(0x4000)
+	for i := 0; i < 64; i++ {
+		g.Update(pc, false)
+	}
+	if g.Predict(pc) {
+		t.Fatal("never-taken branch predicted taken after training")
+	}
+}
+
+func TestAlternatingPatternLearnedViaHistory(t *testing.T) {
+	// gshare keys on global history, so a strict T/N alternation becomes
+	// perfectly predictable once the history register warms up.
+	g := New()
+	pc := uint64(0x1040)
+	taken := false
+	misses := 0
+	for i := 0; i < 4000; i++ {
+		taken = !taken
+		if pred := g.Predict(pc); pred != taken {
+			misses++
+		}
+		g.Update(pc, taken)
+	}
+	// Expect near-zero misses in the second half of the run.
+	g2 := New()
+	taken = false
+	for i := 0; i < 100; i++ {
+		taken = !taken
+		g2.Update(pc, taken)
+	}
+	lateMisses := 0
+	for i := 0; i < 1000; i++ {
+		taken = !taken
+		if g2.Predict(pc) != taken {
+			lateMisses++
+		}
+		g2.Update(pc, taken)
+	}
+	if lateMisses > 10 {
+		t.Fatalf("alternating pattern still missing %d/1000 after warmup", lateMisses)
+	}
+}
+
+func TestRandomBranchesNearChance(t *testing.T) {
+	g := New()
+	r := xrand.New(5)
+	pc := uint64(0x2000)
+	miss := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		taken := r.Bool(0.5)
+		if g.Predict(pc) != taken {
+			miss++
+		}
+		g.Update(pc, taken)
+	}
+	rate := float64(miss) / n
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("random branch miss rate %v, want ~0.5", rate)
+	}
+}
+
+func TestBiasedBranchAccuracy(t *testing.T) {
+	g := New()
+	r := xrand.New(6)
+	pc := uint64(0x3000)
+	miss := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		taken := r.Bool(0.9)
+		if g.Predict(pc) != taken {
+			miss++
+		}
+		g.Update(pc, taken)
+	}
+	rate := float64(miss) / n
+	if rate > 0.2 {
+		t.Fatalf("90%%-biased branch miss rate %v, want well under 0.2", rate)
+	}
+}
+
+func TestAccuracyCounter(t *testing.T) {
+	g := New()
+	if frac, n := g.Accuracy(); frac != 1 || n != 0 {
+		t.Fatal("empty predictor accuracy should be (1, 0)")
+	}
+	g.Update(0x10, true)
+	g.Update(0x10, true)
+	if _, n := g.Accuracy(); n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	g := New()
+	for i := 0; i < 100; i++ {
+		g.Update(0x88, false)
+	}
+	g.Reset()
+	if !g.Predict(0x88) {
+		t.Fatal("after Reset, counters should be weakly taken")
+	}
+	if _, n := g.Accuracy(); n != 0 {
+		t.Fatal("Reset must clear statistics")
+	}
+}
+
+func TestIndexStaysInTable(t *testing.T) {
+	g := NewGshare(10)
+	if err := quick.Check(func(pc uint64, hist uint32) bool {
+		g.history = hist & g.mask
+		i := g.index(pc)
+		return int(i) < len(g.pht)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGsharePanicsOnBadBits(t *testing.T) {
+	for _, bits := range []uint{0, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGshare(%d) did not panic", bits)
+				}
+			}()
+			NewGshare(bits)
+		}()
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	g := New()
+	r := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		g.Update(uint64(i%512)*4, r.Bool(0.7))
+	}
+}

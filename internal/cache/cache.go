@@ -1,0 +1,168 @@
+// Package cache models the paper's memory hierarchy: a 32KB 4-way
+// set-associative L1 data cache with a 2-cycle access time backed by an
+// infinite L2 with a 20-cycle latency (Table 1). The infinite L2 means an
+// L1 miss always costs exactly the L2 latency; the paper chose this to cut
+// warm-up time and verified the CPI breakdown matches a finite-L2/200-cycle
+// memory run.
+package cache
+
+// Config describes a set-associative cache.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size
+	Ways      int // associativity
+	HitCycles int // access latency on a hit
+
+	// MissCycles is the additional latency on a miss (the backing store's
+	// latency). With the paper's infinite L2, every L1 miss costs exactly
+	// MissCycles beyond the hit time.
+	MissCycles int
+}
+
+// L1Config is Table 1's L1 data cache: 32KB, 4-way, 2-cycle access,
+// 20-cycle (infinite) L2 behind it. 64-byte lines (Alpha 21264 L1).
+func L1Config() Config {
+	return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitCycles: 2, MissCycles: 20}
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// hit/miss behavior only (no MSHRs or bandwidth: the paper's machine has
+// enough memory ports that the FU model covers port contention).
+type Cache struct {
+	cfg      Config
+	sets     int
+	tags     []uint64 // sets × ways; 0 means invalid (tag values are shifted so 0 never collides)
+	lru      []uint8  // per-line age within its set; 0 = most recent
+	setMask  uint64
+	lineBits uint
+
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache from cfg. It panics if the geometry is invalid
+// (non-power-of-two line size or set count, or Ways not dividing evenly).
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a positive power of two")
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cache: ways and size must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		panic("cache: capacity not divisible into ways")
+	}
+	sets := lines / cfg.Ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("cache: set count must be a positive power of two")
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		tags:    make([]uint64, lines),
+		lru:     make([]uint8, lines),
+		setMask: uint64(sets - 1),
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	c.initLRU()
+	return c
+}
+
+// initLRU makes each set's ages a permutation 0..Ways-1 (touch preserves
+// the permutation property, which true LRU depends on). Invalid lines get
+// the oldest ages so fills happen before evictions.
+func (c *Cache) initLRU() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.cfg.Ways; w++ {
+			c.lru[s*c.cfg.Ways+w] = uint8(w)
+		}
+	}
+}
+
+// Access performs a load or store to addr and returns the access latency
+// in cycles and whether it hit. Stores allocate (write-allocate), matching
+// the effect they have on subsequent loads; store latency does not gate
+// the pipeline (stores drain at commit), so callers typically ignore the
+// latency for stores.
+func (c *Cache) Access(addr uint64) (latency int, hit bool) {
+	c.accesses++
+	set := (addr >> c.lineBits) & c.setMask
+	// Shift the tag left one and set the low bit so a valid tag is never 0.
+	tag := ((addr >> c.lineBits) << 1) | 1
+	base := int(set) * c.cfg.Ways
+
+	hitWay := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return c.cfg.HitCycles, true
+	}
+	c.misses++
+	// Evict the LRU way (largest age).
+	victim := 0
+	for w := 1; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] > c.lru[base+victim] {
+			victim = w
+		}
+	}
+	c.tags[base+victim] = tag
+	c.touch(base, victim)
+	return c.cfg.HitCycles + c.cfg.MissCycles, false
+}
+
+// touch makes way the MRU line of its set.
+func (c *Cache) touch(base, way int) {
+	old := c.lru[base+way]
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Probe reports whether addr would hit, without updating any state.
+func (c *Cache) Probe(addr uint64) bool {
+	set := (addr >> c.lineBits) & c.setMask
+	tag := ((addr >> c.lineBits) << 1) | 1
+	base := int(set) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	c.initLRU()
+	c.accesses = 0
+	c.misses = 0
+}
+
+// MissRate returns the fraction of accesses that missed and the number of
+// accesses observed.
+func (c *Cache) MissRate() (frac float64, n uint64) {
+	if c.accesses == 0 {
+		return 0, 0
+	}
+	return float64(c.misses) / float64(c.accesses), c.accesses
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets (exported for tests and tools).
+func (c *Cache) Sets() int { return c.sets }

@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/xrand"
+)
+
+func TestL1Geometry(t *testing.T) {
+	c := New(L1Config())
+	if c.Sets() != 128 { // 32KB / 64B / 4 ways
+		t.Fatalf("sets = %d, want 128", c.Sets())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(L1Config())
+	lat, hit := c.Access(0x1000)
+	if hit || lat != 22 {
+		t.Fatalf("cold access: lat=%d hit=%v, want 22 miss", lat, hit)
+	}
+	lat, hit = c.Access(0x1000)
+	if !hit || lat != 2 {
+		t.Fatalf("second access: lat=%d hit=%v, want 2 hit", lat, hit)
+	}
+	// Same line, different word: still a hit.
+	if _, hit = c.Access(0x1038); !hit {
+		t.Fatal("same-line access missed")
+	}
+	// Next line: miss.
+	if _, hit = c.Access(0x1040); hit {
+		t.Fatal("next-line access hit unexpectedly")
+	}
+}
+
+func TestAddressZeroIsCacheable(t *testing.T) {
+	c := New(L1Config())
+	if _, hit := c.Access(0); hit {
+		t.Fatal("first access to address 0 must miss")
+	}
+	if _, hit := c.Access(0); !hit {
+		t.Fatal("second access to address 0 must hit (tag 0 must be representable)")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 4-way set: fill with A,B,C,D, touch A, add E -> B (the LRU) evicted.
+	c := New(L1Config())
+	stride := uint64(c.Sets()) * 64 // same set, different tags
+	a, b2, cc, d, e := uint64(0), stride, 2*stride, 3*stride, 4*stride
+	for _, addr := range []uint64{a, b2, cc, d} {
+		c.Access(addr)
+	}
+	c.Access(a) // A becomes MRU; B is now LRU
+	c.Access(e) // evicts B
+	if !c.Probe(a) || !c.Probe(cc) || !c.Probe(d) || !c.Probe(e) {
+		t.Fatal("LRU eviction removed the wrong line")
+	}
+	if c.Probe(b2) {
+		t.Fatal("LRU line was not evicted")
+	}
+}
+
+func TestConflictMisses(t *testing.T) {
+	c := New(L1Config())
+	stride := uint64(c.Sets()) * 64
+	// 5 lines mapping to one 4-way set, accessed round-robin: always miss.
+	misses := 0
+	for i := 0; i < 50; i++ {
+		if _, hit := c.Access(uint64(i%5) * stride); !hit {
+			misses++
+		}
+	}
+	if misses != 50 {
+		t.Fatalf("round-robin over ways+1 lines: %d/50 misses, want all misses", misses)
+	}
+}
+
+func TestWorkingSetFitsAfterWarmup(t *testing.T) {
+	c := New(L1Config())
+	// 16KB working set fits in 32KB: after one pass, all hits.
+	for a := uint64(0); a < 16<<10; a += 64 {
+		c.Access(a)
+	}
+	c.Reset()
+	for a := uint64(0); a < 16<<10; a += 64 {
+		c.Access(a)
+	}
+	for a := uint64(0); a < 16<<10; a += 64 {
+		if _, hit := c.Access(a); !hit {
+			t.Fatalf("warm access to %#x missed", a)
+		}
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := New(L1Config())
+	c.Access(0x100)
+	before, n1 := c.MissRate()
+	c.Probe(0x9999999)
+	after, n2 := c.MissRate()
+	if before != after || n1 != n2 {
+		t.Fatal("Probe changed statistics")
+	}
+}
+
+func TestMissRateAccounting(t *testing.T) {
+	c := New(L1Config())
+	if f, n := c.MissRate(); f != 0 || n != 0 {
+		t.Fatal("fresh cache should report 0 accesses")
+	}
+	c.Access(0x0)
+	c.Access(0x0)
+	f, n := c.MissRate()
+	if n != 2 || f != 0.5 {
+		t.Fatalf("miss rate %v over %d, want 0.5 over 2", f, n)
+	}
+	c.Reset()
+	if f, n := c.MissRate(); f != 0 || n != 0 {
+		t.Fatal("Reset must clear statistics")
+	}
+}
+
+func TestLRUAgesStayBounded(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 4, HitCycles: 1, MissCycles: 10})
+	r := xrand.New(3)
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64(r.Intn(64)) * 64)
+	}
+	for s := 0; s < c.Sets(); s++ {
+		seen := map[uint8]bool{}
+		for w := 0; w < 4; w++ {
+			age := c.lru[s*4+w]
+			if age >= 4 {
+				t.Fatalf("set %d way %d age %d out of bounds", s, w, age)
+			}
+			// Ages of valid lines must be distinct (a permutation prefix).
+			if c.tags[s*4+w] != 0 && seen[age] {
+				t.Fatalf("set %d has duplicate LRU age %d", s, age)
+			}
+			seen[age] = true
+		}
+	}
+}
+
+func TestHitAfterAccessProperty(t *testing.T) {
+	c := New(L1Config())
+	if err := quick.Check(func(addr uint64) bool {
+		c.Access(addr)
+		_, hit := c.Access(addr)
+		return hit
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 1024, LineBytes: 48, Ways: 4},   // non-pow2 line
+		{SizeBytes: 1024, LineBytes: 64, Ways: 0},   // zero ways
+		{SizeBytes: 0, LineBytes: 64, Ways: 4},      // zero size
+		{SizeBytes: 64 * 3, LineBytes: 64, Ways: 2}, // lines not divisible... 3/2
+		{SizeBytes: 64 * 6, LineBytes: 64, Ways: 2}, // 3 sets: non-pow2
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: New(%+v) did not panic", i, cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(L1Config())
+	r := xrand.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}

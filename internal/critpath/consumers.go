@@ -1,0 +1,170 @@
+package critpath
+
+import (
+	"clustersim/internal/predictor"
+	"clustersim/internal/trace"
+)
+
+// ConsumerStats reproduces the producer/consumer dataflow analysis of
+// Section 6, which motivates proactive load-balancing:
+//
+//   - of all critical producers with multiple consumers, more than 50% do
+//     not have their most critical consumer first in fetch order;
+//   - about 80% of produced values have a statically unique most-critical
+//     consumer;
+//   - static consumers are bimodal: they either almost always or almost
+//     never are the most critical consumer of their producer's value.
+type ConsumerStats struct {
+	// Values counts dynamic values (producers with >= 1 consumer).
+	Values int64
+	// MultiConsumerCritical counts values from critical producers with
+	// >= 2 consumers.
+	MultiConsumerCritical int64
+	// MCCNotFirst counts, among MultiConsumerCritical, values whose most
+	// critical consumer is not the first consumer in fetch order.
+	MCCNotFirst int64
+	// StaticallyUniqueFrac is the fraction of values whose most critical
+	// consumer is the producer's dominant (modal) static consumer.
+	StaticallyUniqueFrac float64
+	// BimodalFrac is the fraction of static consumers whose tendency to
+	// be the most critical consumer is extreme (<20% or >80%).
+	BimodalFrac float64
+}
+
+// MCCNotFirstFrac returns the headline Section 6 number.
+func (s ConsumerStats) MCCNotFirstFrac() float64 {
+	if s.MultiConsumerCritical == 0 {
+		return 0
+	}
+	return float64(s.MCCNotFirst) / float64(s.MultiConsumerCritical)
+}
+
+// criticalProducerThreshold mirrors the binary predictor's effective
+// classification rate (1-in-8 instances critical).
+const criticalProducerThreshold = 1.0 / 8
+
+// AnalyzeConsumers computes ConsumerStats for a trace given per-static-
+// instruction criticality frequencies (an Exact tracker trained by a
+// critical-path analysis of the same run). Consumer criticality is the
+// consumer PC's observed likelihood of criticality.
+func AnalyzeConsumers(tr *trace.Trace, exact *predictor.Exact) ConsumerStats {
+	n := tr.Len()
+	// Per-producer consumer lists in fetch order, linked through
+	// per-edge nodes (a consumer sits in several producers' lists, so
+	// list nodes are edges: consumer i's slot s is edge 3i+s).
+	firstEdge := make([]int32, n)
+	lastEdge := make([]int32, n)
+	nextEdge := make([]int32, 3*n)
+	for i := range firstEdge {
+		firstEdge[i] = trace.None
+		lastEdge[i] = trace.None
+	}
+	for i := range nextEdge {
+		nextEdge[i] = trace.None
+	}
+	var prodBuf []int32
+	for i := 0; i < n; i++ {
+		prodBuf = tr.Producers(i, prodBuf[:0])
+		seen := int32(trace.None)
+		for slot, p := range prodBuf {
+			if p == seen {
+				continue // both operands from the same producer
+			}
+			seen = p
+			e := int32(3*i + slot)
+			if firstEdge[p] == trace.None {
+				firstEdge[p] = e
+			} else {
+				nextEdge[lastEdge[p]] = e
+			}
+			lastEdge[p] = e
+		}
+	}
+
+	var s ConsumerStats
+	// Per static producer: count of values whose MCC had each static PC.
+	type pcCount map[uint64]int64
+	mccByProducerPC := map[uint64]pcCount{}
+	// Per static consumer: times it was / was not the MCC.
+	mccWins := map[uint64]int64{}
+	mccTries := map[uint64]int64{}
+
+	for p := 0; p < n; p++ {
+		e := firstEdge[p]
+		if e == trace.None {
+			continue
+		}
+		s.Values++
+		// Find the most critical consumer (highest LoC; ties favor the
+		// earlier consumer, the conservative choice).
+		first := e / 3
+		bestPC := tr.Insts[first].PC
+		bestLoC := exact.Frac(bestPC)
+		count := 0
+		bestIdx := 0
+		for idx := 0; e != trace.None; idx++ {
+			pc := tr.Insts[e/3].PC
+			if f := exact.Frac(pc); f > bestLoC {
+				bestLoC = f
+				bestPC = pc
+				bestIdx = idx
+			}
+			mccTries[pc]++
+			count++
+			e = nextEdge[e]
+		}
+		mccWins[bestPC]++
+		// mccTries counts participations; wins counted once per value.
+		// Adjust tries bookkeeping: every consumer participated once.
+		prodPC := tr.Insts[p].PC
+		cnts := mccByProducerPC[prodPC]
+		if cnts == nil {
+			cnts = pcCount{}
+			mccByProducerPC[prodPC] = cnts
+		}
+		cnts[bestPC]++
+
+		if count >= 2 && exact.Frac(prodPC) >= criticalProducerThreshold {
+			s.MultiConsumerCritical++
+			if bestIdx != 0 {
+				s.MCCNotFirst++
+			}
+			_ = first
+		}
+	}
+
+	// Statically-unique MCC fraction: values whose MCC matches the
+	// producer's modal MCC.
+	var modal, total int64
+	for _, cnts := range mccByProducerPC {
+		var sum, best int64
+		for _, v := range cnts {
+			sum += v
+			if v > best {
+				best = v
+			}
+		}
+		modal += best
+		total += sum
+	}
+	if total > 0 {
+		s.StaticallyUniqueFrac = float64(modal) / float64(total)
+	}
+
+	// Bimodality of static consumers' MCC tendency.
+	var extreme, consumers int64
+	for pc, tries := range mccTries {
+		if tries == 0 {
+			continue
+		}
+		frac := float64(mccWins[pc]) / float64(tries)
+		consumers++
+		if frac < 0.2 || frac > 0.8 {
+			extreme++
+		}
+	}
+	if consumers > 0 {
+		s.BimodalFrac = float64(extreme) / float64(consumers)
+	}
+	return s
+}

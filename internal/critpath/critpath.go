@@ -1,0 +1,235 @@
+// Package critpath implements the critical-path model of Fields et al.
+// (ISCA'01) as used by the paper: a dependence graph over the dynamic
+// instruction stream whose nodes are per-instruction pipeline events and
+// whose edges are the machine's actual last-arriving constraints. Walking
+// backward from the final commit yields the chain of dependences that
+// determined total runtime; attributing each edge to a microarchitectural
+// cause produces the Figure 5 breakdown, and counting edge classes
+// produces Figures 6(a) and 6(b).
+//
+// The simulator records the last-arriving constraint for every event while
+// it runs, so the walk is a linear pass over recorded state — no
+// re-simulation is needed.
+package critpath
+
+import (
+	"fmt"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/machine"
+)
+
+// Breakdown attributes the cycles of the critical path to causes. The
+// fields mirror Figure 5's stack: forwarding delay, contention, execute,
+// window, fetch, memory latency and branch misprediction; Commit covers
+// retirement-bandwidth edges (not broken out by the paper; typically ~0).
+type Breakdown struct {
+	FwdDelay     int64 // inter-cluster forwarding on critical dataflow
+	Contention   int64 // issue waits of data-ready critical instructions
+	Execute      int64 // functional-unit latency of non-memory ops
+	MemLatency   int64 // load latency (including L2 misses)
+	Fetch        int64 // front-end bandwidth and pipeline transit
+	Window       int64 // ROB/window capacity and steering stalls
+	BrMispredict int64 // misprediction resolution + refill
+	Commit       int64 // retirement edges
+}
+
+// Total returns the cycles attributed across all causes; it equals the
+// time span covered by the walk.
+func (b Breakdown) Total() int64 {
+	return b.FwdDelay + b.Contention + b.Execute + b.MemLatency +
+		b.Fetch + b.Window + b.BrMispredict + b.Commit
+}
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.FwdDelay += other.FwdDelay
+	b.Contention += other.Contention
+	b.Execute += other.Execute
+	b.MemLatency += other.MemLatency
+	b.Fetch += other.Fetch
+	b.Window += other.Window
+	b.BrMispredict += other.BrMispredict
+	b.Commit += other.Commit
+}
+
+// Analysis is the result of one critical-path walk.
+type Analysis struct {
+	Breakdown Breakdown
+
+	// Contention stall events on the path, split by whether the stalled
+	// instruction had been predicted critical (Figure 6a).
+	ContentionCritical int64
+	ContentionOther    int64
+
+	// Forwarding-delay events on the path, split by the consumer's
+	// steering outcome (Figure 6b).
+	FwdLoadBal int64
+	FwdDyadic  int64
+	FwdOther   int64
+
+	// OnPath[i-From] reports whether instruction i's execution lies on
+	// the walked critical path.
+	OnPath []bool
+	From   int64
+	To     int64
+
+	// Steps counts walk transitions (diagnostics).
+	Steps int64
+}
+
+// IsCritical reports whether instruction seq executed on the critical path.
+func (a *Analysis) IsCritical(seq int64) bool {
+	if seq < a.From || seq >= a.To {
+		return false
+	}
+	return a.OnPath[seq-a.From]
+}
+
+type nodeKind uint8
+
+const (
+	nodeC nodeKind = iota // commit
+	nodeE                 // execution complete
+	nodeI                 // issue
+	nodeD                 // dispatch
+)
+
+// Analyze walks the critical path of the committed range [from, to) of a
+// finished (or epoch-complete) run and returns the attribution. The range
+// must be fully committed.
+func Analyze(m *machine.Machine, from, to int64) (*Analysis, error) {
+	ev := m.Events()
+	if from < 0 || to <= from || to > int64(len(ev)) {
+		return nil, fmt.Errorf("critpath: bad range [%d, %d) of %d", from, to, len(ev))
+	}
+	if ev[to-1].Commit == machine.Unset {
+		return nil, fmt.Errorf("critpath: instruction %d not committed", to-1)
+	}
+	tr := m.Trace()
+	a := &Analysis{From: from, To: to, OnPath: make([]bool, to-from)}
+
+	kind := nodeC
+	seq := to - 1
+	// The walk must terminate: every transition moves to a strictly older
+	// event time or an older instruction; bound steps defensively.
+	maxSteps := (to - from + 1) * 16
+	for a.Steps = 0; a.Steps < maxSteps; a.Steps++ {
+		if seq < from {
+			break // crossed out of the analyzed range
+		}
+		e := &ev[seq]
+		switch kind {
+		case nodeC:
+			if e.Commit == e.Complete+1 {
+				a.Breakdown.Commit++ // minimal complete→commit transit
+				kind = nodeE
+				continue
+			}
+			// Blocked behind in-order commit.
+			if seq == 0 {
+				a.Breakdown.Commit += e.Commit
+				seq = -1
+				continue
+			}
+			a.Breakdown.Commit += e.Commit - ev[seq-1].Commit
+			seq--
+		case nodeE:
+			a.OnPath[seq-from] = true
+			lat := e.Complete - e.Issue
+			if tr.Insts[seq].Op == isa.Load {
+				a.Breakdown.MemLatency += lat
+			} else {
+				a.Breakdown.Execute += lat
+			}
+			kind = nodeI
+		case nodeI:
+			a.OnPath[seq-from] = true
+			if cont := e.Issue - e.Ready; cont > 0 {
+				a.Breakdown.Contention += cont
+				if e.PredCritical {
+					a.ContentionCritical++
+				} else {
+					a.ContentionOther++
+				}
+			}
+			if e.CritProducer != machine.Unset {
+				if e.CritProducerRemote {
+					// Ready equals the last-arriving producer's remote
+					// availability: forwarding latency plus any wait for
+					// a bypass broadcast slot.
+					a.Breakdown.FwdDelay += e.Ready - ev[e.CritProducer].Complete
+					switch e.SteerTag {
+					case machine.SteerLoadBalanced:
+						a.FwdLoadBal++
+					case machine.SteerDyadic:
+						a.FwdDyadic++
+					default:
+						a.FwdOther++
+					}
+				}
+				seq = e.CritProducer
+				kind = nodeE
+				continue
+			}
+			// Readiness was bounded by dispatch (+1 cycle transit).
+			a.Breakdown.Window++
+			kind = nodeD
+		case nodeD:
+			switch e.DispatchReason {
+			case machine.DispPipeline:
+				if e.FetchReason == machine.FetchRedirect && e.FetchBlocker != machine.Unset {
+					// The whole resolve→refetch→dispatch span belongs to
+					// the misprediction.
+					a.Breakdown.BrMispredict += e.Dispatch - ev[e.FetchBlocker].Complete
+					seq = e.FetchBlocker
+					kind = nodeE
+					continue
+				}
+				if e.FetchBlocker == machine.Unset {
+					// Start of trace: pipeline fill from cycle 0.
+					a.Breakdown.Fetch += e.Dispatch
+					seq = -1
+					continue
+				}
+				a.Breakdown.Fetch += e.Dispatch - ev[e.FetchBlocker].Dispatch
+				seq = e.FetchBlocker
+			case machine.DispWidth:
+				if e.DispatchBlocker < 0 {
+					a.Breakdown.Fetch += e.Dispatch
+					seq = -1
+					continue
+				}
+				a.Breakdown.Fetch += e.Dispatch - ev[e.DispatchBlocker].Dispatch
+				seq = e.DispatchBlocker
+			case machine.DispROB:
+				if e.DispatchBlocker < 0 {
+					a.Breakdown.Window += e.Dispatch
+					seq = -1
+					continue
+				}
+				a.Breakdown.Window += e.Dispatch - ev[e.DispatchBlocker].Commit
+				seq = e.DispatchBlocker
+				kind = nodeC
+			case machine.DispWindow:
+				if e.DispatchBlocker < 0 {
+					a.Breakdown.Window += e.Dispatch
+					seq = -1
+					continue
+				}
+				a.Breakdown.Window += e.Dispatch - ev[e.DispatchBlocker].Issue
+				seq = e.DispatchBlocker
+				kind = nodeI
+			}
+		}
+		if seq < 0 {
+			break
+		}
+	}
+	return a, nil
+}
+
+// AnalyzeRun walks the whole run.
+func AnalyzeRun(m *machine.Machine) (*Analysis, error) {
+	return Analyze(m, 0, int64(len(m.Events())))
+}

@@ -1,0 +1,77 @@
+package critpath
+
+import (
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+)
+
+// Detector is the online criticality detector: it periodically walks the
+// critical path of the most recently retired epoch and trains the
+// machine's criticality predictors, mirroring the sampling token-passing
+// detector of Fields et al. that the paper's pipeline incorporates.
+//
+// Wire-up (the machine and its hooks reference each other, so binding is
+// two-step):
+//
+//	det := critpath.NewDetector(binary, loc)
+//	m, _ := machine.New(cfg, tr, pol, machine.Hooks{
+//	    Binary: binary, LoC: loc, OnEpoch: det.OnEpoch,
+//	})
+//	det.Bind(m)
+//	m.Run()
+type Detector struct {
+	binary *predictor.Binary
+	loc    *predictor.LoC
+	exact  *predictor.Exact // optional: unlimited-precision bookkeeping
+	m      *machine.Machine
+
+	epochs int64
+}
+
+// NewDetector returns a detector that trains the given predictors (any
+// may be nil).
+func NewDetector(binary *predictor.Binary, loc *predictor.LoC) *Detector {
+	return &Detector{binary: binary, loc: loc}
+}
+
+// TrackExact additionally maintains an unlimited-precision criticality
+// frequency table (used for Figure 8 and the consumer analysis).
+func (d *Detector) TrackExact(e *predictor.Exact) { d.exact = e }
+
+// Bind attaches the detector to the machine whose epochs it will observe.
+func (d *Detector) Bind(m *machine.Machine) { d.m = m }
+
+// Exact returns the exact tracker, if any.
+func (d *Detector) Exact() *predictor.Exact { return d.exact }
+
+// Epochs returns how many epochs have been processed.
+func (d *Detector) Epochs() int64 { return d.epochs }
+
+// OnEpoch walks the newly retired epoch [from, to) and trains the
+// predictors: instructions whose execution lies on the epoch's critical
+// path train critical, the rest train non-critical. Pass this method as
+// machine.Hooks.OnEpoch.
+func (d *Detector) OnEpoch(from, to int64) {
+	if d.m == nil {
+		panic("critpath: detector not bound to a machine")
+	}
+	a, err := Analyze(d.m, from, to)
+	if err != nil {
+		panic("critpath: " + err.Error()) // range comes from the machine; cannot fail
+	}
+	tr := d.m.Trace()
+	for seq := from; seq < to; seq++ {
+		pc := tr.Insts[seq].PC
+		crit := a.OnPath[seq-from]
+		if d.binary != nil {
+			d.binary.Train(pc, crit)
+		}
+		if d.loc != nil {
+			d.loc.Train(pc, crit)
+		}
+		if d.exact != nil {
+			d.exact.Train(pc, crit)
+		}
+	}
+	d.epochs++
+}

@@ -1,0 +1,258 @@
+package critpath
+
+import (
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/xrand"
+)
+
+// TokenDetector is the hardware-style critical-path detector of Fields
+// et al. (ISCA'01), which the paper's conclusion names as the mechanism a
+// real pipeline would need ("dynamic profiling of the critical path
+// requires that a token-passing predictor be built into the pipeline").
+//
+// Rather than analyzing a whole epoch's dependence graph (Detector), it
+// plants tokens into randomly chosen execution nodes of the in-flight
+// stream and propagates each token along *last-arriving* edges only: a
+// node inherits a token exactly when its last-arriving predecessor
+// carried it. A token that keeps propagating for CritDistance
+// instructions demonstrates that its planting instruction's execution
+// constrained everything since — i.e. it was critical; a token whose
+// frontier dies out trains non-critical.
+//
+// The machine already records every node's last-arriving predecessor, so
+// propagation is O(1) per retirement, exactly like the proposed hardware.
+type TokenDetector struct {
+	binary *predictor.Binary
+	loc    *predictor.LoC
+	m      *machine.Machine
+	rng    *xrand.Rand
+
+	// Ring of token masks per instruction slot, one mask per node kind
+	// (D, E, C). The ring must out-span the deepest last-arriving
+	// lookback (the ROB) and the death window.
+	ring [][3]uint64
+
+	tokens [maxTokens]tokenState
+	free   uint64 // bitmask of free token ids
+
+	// PlantRate is the per-instruction planting probability (default
+	// 1/64); CritDistance the survival distance that proves criticality
+	// (default 512 instructions); DeathWindow how long a token may go
+	// uncarried before it is declared dead (default 512).
+	PlantRate    float64
+	CritDistance int64
+	DeathWindow  int64
+
+	planted          int64
+	resolvedCritical int64
+	resolvedOther    int64
+	perPC            map[uint64]*[2]int64
+}
+
+const maxTokens = 64
+
+// tokenRing must exceed ROB size + death window.
+const tokenRing = 4096
+
+type tokenState struct {
+	plantSeq    int64
+	plantPC     uint64
+	lastCarried int64
+	// lastCarriedC is the last retirement whose *commit-chain* node
+	// carried the token. The C chain of instruction j is, walked
+	// backward, exactly the critical path of the execution prefix ending
+	// at j — so commit-chain carriage far from the plant site is the
+	// tight criticality criterion, while carriage on any node merely
+	// keeps the token alive (it may yet re-join the commit chain).
+	lastCarriedC int64
+	// freeAt quarantines a resolved token id until the ring has wrapped
+	// past its stale marks, so a re-planted id cannot inherit them.
+	freeAt int64
+	active bool
+}
+
+// NewTokenDetector returns a token-passing detector training the given
+// predictors (either may be nil) with randomness from rng.
+func NewTokenDetector(binary *predictor.Binary, loc *predictor.LoC, rng *xrand.Rand) *TokenDetector {
+	if rng == nil {
+		panic("critpath: nil rng")
+	}
+	d := &TokenDetector{
+		binary:       binary,
+		loc:          loc,
+		rng:          rng,
+		ring:         make([][3]uint64, tokenRing),
+		free:         ^uint64(0),
+		PlantRate:    1.0 / 64,
+		CritDistance: 512,
+		DeathWindow:  512,
+		perPC:        make(map[uint64]*[2]int64),
+	}
+	return d
+}
+
+// PerPC returns, per static PC, how many tokens planted there resolved
+// [critical, non-critical] (diagnostics).
+func (d *TokenDetector) PerPC() map[uint64]*[2]int64 { return d.perPC }
+
+// Bind attaches the detector to its machine. Pass OnCommit as
+// machine.Hooks.OnCommitInst.
+func (d *TokenDetector) Bind(m *machine.Machine) { d.m = m }
+
+// Stats reports how many tokens were planted and how each resolved.
+func (d *TokenDetector) Stats() (planted, critical, other int64) {
+	return d.planted, d.resolvedCritical, d.resolvedOther
+}
+
+const (
+	nodeDIdx = 0
+	nodeEIdx = 1
+	nodeCIdx = 2
+)
+
+// maskAt returns the token mask of node kind at instruction seq, or 0 if
+// the slot has been recycled (out of lookback range) or seq is absent.
+func (d *TokenDetector) maskAt(cur int64, kind int, seq int64) uint64 {
+	if seq < 0 || cur-seq >= tokenRing {
+		return 0
+	}
+	return d.ring[seq%tokenRing][kind]
+}
+
+// OnCommit propagates tokens through instruction seq's nodes, plants new
+// tokens, and resolves finished ones. It must be called for every
+// retirement in order (wire it to machine.Hooks.OnCommitInst).
+func (d *TokenDetector) OnCommit(seq int64) {
+	if d.m == nil {
+		panic("critpath: token detector not bound to a machine")
+	}
+	ev := d.m.Events()
+	e := &ev[seq]
+
+	// Resolve D(seq)'s last-arriving predecessor.
+	var maskD uint64
+	switch e.DispatchReason {
+	case machine.DispPipeline:
+		if e.FetchReason == machine.FetchRedirect {
+			maskD = d.maskAt(seq, nodeEIdx, e.FetchBlocker)
+		} else {
+			maskD = d.maskAt(seq, nodeDIdx, e.FetchBlocker)
+		}
+	case machine.DispWidth:
+		maskD = d.maskAt(seq, nodeDIdx, e.DispatchBlocker)
+	case machine.DispROB:
+		maskD = d.maskAt(seq, nodeCIdx, e.DispatchBlocker)
+	case machine.DispWindow:
+		// Window-full edges do not carry tokens. The "instruction whose
+		// issue freed the slot" is only approximately known, and letting
+		// arbitrary issuers' E nodes feed the dispatch chain forms
+		// self-sustaining E→D→E loops that keep every token alive.
+		// Fields' graph likewise has no issuer→dispatch edge (its finite-
+		// window edge is CD, from a commit); dropping carriage here biases
+		// the detector toward execute criticality, which is what the
+		// steering policies consume.
+		maskD = 0
+	}
+
+	// E(seq): from the last-arriving operand, or from dispatch.
+	var maskE uint64
+	if e.CritProducer != machine.Unset {
+		maskE = d.maskAt(seq, nodeEIdx, e.CritProducer)
+	} else {
+		maskE = maskD
+	}
+
+	// Plant a fresh token at this execution node, hardware-style: at
+	// random, when a token id is free.
+	if d.free != 0 && d.rng.Bool(d.PlantRate) {
+		id := 0
+		for ; id < maxTokens; id++ {
+			if d.free&(1<<id) != 0 {
+				break
+			}
+		}
+		d.free &^= 1 << id
+		d.tokens[id] = tokenState{
+			plantSeq:     seq,
+			plantPC:      d.m.Trace().Insts[seq].PC,
+			lastCarried:  seq,
+			lastCarriedC: seq - 1, // not yet seen on the commit chain
+			active:       true,
+		}
+		maskE |= 1 << id
+		d.planted++
+	}
+
+	// C(seq): from own completion or the in-order commit predecessor.
+	var maskC uint64
+	if e.Commit == e.Complete+1 {
+		maskC = maskE
+	} else {
+		maskC = d.maskAt(seq, nodeCIdx, seq-1)
+	}
+
+	slot := &d.ring[seq%tokenRing]
+	slot[nodeDIdx] = maskD
+	slot[nodeEIdx] = maskE
+	slot[nodeCIdx] = maskC
+
+	carried := maskD | maskE | maskC
+	for id := 0; id < maxTokens; id++ {
+		t := &d.tokens[id]
+		if !t.active {
+			// Release quarantined ids once their marks are unreachable.
+			if t.freeAt != 0 && seq >= t.freeAt && d.free&(1<<id) == 0 {
+				d.free |= 1 << id
+				t.freeAt = 0
+			}
+			continue
+		}
+		if carried&(1<<id) != 0 {
+			t.lastCarried = seq
+		}
+		if maskC&(1<<id) != 0 {
+			t.lastCarriedC = seq
+		}
+		switch {
+		case t.lastCarriedC-t.plantSeq >= d.CritDistance:
+			// Still determining commit times far from the plant site:
+			// the planted execution was critical.
+			d.resolve(id, seq, true)
+		case seq-t.lastCarried > d.DeathWindow,
+			seq-t.plantSeq > 4*d.CritDistance:
+			// The token's frontier died out (or it has wandered
+			// side-chains far too long): not critical.
+			d.resolve(id, seq, false)
+		}
+	}
+}
+
+// resolve trains the predictors with the token's verdict and quarantines
+// the id until its ring marks have been overwritten.
+func (d *TokenDetector) resolve(id int, seq int64, critical bool) {
+	t := &d.tokens[id]
+	if d.binary != nil {
+		d.binary.Train(t.plantPC, critical)
+	}
+	if d.loc != nil {
+		d.loc.Train(t.plantPC, critical)
+	}
+	if critical {
+		d.resolvedCritical++
+	} else {
+		d.resolvedOther++
+	}
+	cnt := d.perPC[t.plantPC]
+	if cnt == nil {
+		cnt = new([2]int64)
+		d.perPC[t.plantPC] = cnt
+	}
+	if critical {
+		cnt[0]++
+	} else {
+		cnt[1]++
+	}
+	t.active = false
+	t.freeAt = seq + tokenRing
+}

@@ -1,0 +1,152 @@
+package critpath_test
+
+import (
+	"testing"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/isa"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+	"clustersim/internal/xrand"
+)
+
+func runWithTokenDetector(t *testing.T, tr *trace.Trace, clusters int) (*critpath.TokenDetector, *predictor.Binary, *predictor.LoC) {
+	t.Helper()
+	binary := predictor.NewDefaultBinary()
+	loc := predictor.NewDefaultLoC(xrand.New(3))
+	det := critpath.NewTokenDetector(binary, loc, xrand.New(4))
+	cfg := machine.NewConfig(clusters)
+	cfg.SchedMode = machine.SchedLoC
+	m, err := machine.New(cfg, tr, steer.LoC{}, machine.Hooks{
+		Binary: binary, LoC: loc, OnCommitInst: det.OnCommit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Bind(m)
+	m.Run()
+	return det, binary, loc
+}
+
+func TestTokenDetectorPlantsAndResolves(t *testing.T) {
+	tr, _ := workload.Generate("vpr", 60000, 1)
+	det, _, _ := runWithTokenDetector(t, tr, 4)
+	planted, critical, other := det.Stats()
+	if planted < 100 {
+		t.Fatalf("only %d tokens planted", planted)
+	}
+	resolved := critical + other
+	if resolved < planted-int64(64) {
+		t.Fatalf("planted %d but resolved only %d", planted, resolved)
+	}
+	if critical == 0 {
+		t.Fatal("no token ever resolved critical")
+	}
+	if other == 0 {
+		t.Fatal("every token resolved critical — detector not discriminating")
+	}
+}
+
+func TestTokenDetectorChainIsCritical(t *testing.T) {
+	// On a pure dependent chain, every token planted on a chain PC must
+	// survive: its E node constrains every later E node.
+	insts := make([]isa.Inst, 40000)
+	for i := range insts {
+		insts[i] = isa.Inst{PC: 0x100, Op: isa.IntALU, Dst: 1, Src: [2]isa.Reg{1, isa.NoReg}}
+	}
+	insts[0].Src[0] = isa.NoReg
+	tr := trace.Rebuild(insts)
+	det, binary, _ := runWithTokenDetector(t, tr, 1)
+	_, critical, other := det.Stats()
+	if critical == 0 {
+		t.Fatal("chain tokens never resolved critical")
+	}
+	if other > critical/4 {
+		t.Fatalf("chain: %d critical vs %d non-critical resolutions", critical, other)
+	}
+	if !binary.Predict(0x100) {
+		t.Fatal("chain PC not predicted critical by token-trained predictor")
+	}
+}
+
+func TestTokenDetectorAgreesWithGraphDetector(t *testing.T) {
+	// The token detector is a sampling approximation of the epoch-graph
+	// analysis, with a known false-positive floor from parallel
+	// near-critical paths (Fields et al. '03). What the steering and
+	// scheduling policies consume is the *ordering* of criticality, so
+	// the per-PC token verdicts must clearly separate the PCs the graph
+	// analysis finds critical from those it does not.
+	tr, _ := workload.Generate("gzip", 120000, 1)
+
+	// Reference: exact per-PC criticality from the graph detector.
+	exact := predictor.NewExact()
+	refDet := critpath.NewDetector(nil, nil)
+	refDet.TrackExact(exact)
+	cfg := machine.NewConfig(4)
+	m, err := machine.New(cfg, tr, steer.LoC{}, machine.Hooks{OnEpoch: refDet.OnEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDet.Bind(m)
+	m.Run()
+
+	// Token verdicts on an identical machine.
+	det, _, _ := runWithTokenDetector(t, tr, 4)
+
+	tokenFrac := func(pc uint64) (float64, bool) {
+		cnt := det.PerPC()[pc]
+		if cnt == nil || cnt[0]+cnt[1] < 10 {
+			return 0, false
+		}
+		return float64(cnt[0]) / float64(cnt[0]+cnt[1]), true
+	}
+	var hi, lo []float64
+	for _, pc := range exact.PCs() {
+		f, ok := tokenFrac(pc)
+		if !ok {
+			continue
+		}
+		switch {
+		case exact.Frac(pc) >= 0.3:
+			hi = append(hi, f)
+		case exact.Frac(pc) <= 0.06:
+			lo = append(lo, f)
+		}
+	}
+	if len(hi) == 0 || len(lo) == 0 {
+		t.Fatal("no clear-cut PCs to compare")
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(hi) < mean(lo)+0.2 {
+		t.Fatalf("token verdicts do not separate critical (%.2f over %d PCs) from "+
+			"non-critical (%.2f over %d PCs)", mean(hi), len(hi), mean(lo), len(lo))
+	}
+}
+
+func TestTokenDetectorRequiresBinding(t *testing.T) {
+	det := critpath.NewTokenDetector(nil, nil, xrand.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	det.OnCommit(0)
+}
+
+func TestTokenDetectorNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	critpath.NewTokenDetector(nil, nil, nil)
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSlackStudy(t *testing.T) {
+	r, err := SlackStudy(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's premise: most dataflow tolerates forwarding, yet a
+	// meaningful fraction is slackless, and per-PC variability is high.
+	if r.MeanZeroFrac <= 0 || r.MeanZeroFrac >= 1 {
+		t.Errorf("zero-slack fraction %v", r.MeanZeroFrac)
+	}
+	if r.MeanGEFwdFrac < 0.2 {
+		t.Errorf("tolerant fraction %v implausibly low", r.MeanGEFwdFrac)
+	}
+	if r.MeanStaticSD < 1 {
+		t.Errorf("per-PC slack SD %v implausibly static", r.MeanStaticSD)
+	}
+	if r.MeanBranchBi < 0.6 {
+		t.Errorf("mispredicted branches rarely slackless: %v", r.MeanBranchBi)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "AVE") {
+		t.Error("render missing AVE")
+	}
+}
+
+func TestDetectorCompare(t *testing.T) {
+	r, err := DetectorCompare(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The token detector is an approximation: it may cost something, but
+	// it must stay in the same league as the graph detector.
+	if r.TokenPenaltyDelta > 0.15 || r.TokenPenaltyDelta < -0.15 {
+		t.Errorf("token detector delta %v out of plausible band", r.TokenPenaltyDelta)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "token") {
+		t.Error("render missing token column")
+	}
+}
+
+func TestWindowSweep(t *testing.T) {
+	r, err := WindowSweep(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Avg) != len(r.Windows) {
+		t.Fatal("mis-sized result")
+	}
+	// Larger windows must not make the clustered machine slower: window
+	// pressure is a real component of the penalty.
+	if r.Avg[0] < r.Avg[len(r.Avg)-1]-0.005 {
+		t.Errorf("larger windows slowed the machine: %v", r.Avg)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestBandwidthSweep(t *testing.T) {
+	r, err := BandwidthSweep(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlimited and 2/cycle should be nearly indistinguishable (the
+	// paper's assumption); 1/cycle may cost a little.
+	if diff := r.Avg[1] - r.Avg[0]; diff > 0.01 {
+		t.Errorf("2 broadcasts/cycle costs %v vs unlimited — too much", diff)
+	}
+	if r.Avg[2] < r.Avg[0]-0.005 {
+		t.Errorf("limiting bandwidth sped the machine up: %v", r.Avg)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "unlimited") {
+		t.Error("render missing unlimited row")
+	}
+}
+
+func TestFwdSweep(t *testing.T) {
+	r, err := FwdSweep(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idealized penalties grow (weakly) with latency, staying small.
+	for _, lat := range r.Lats {
+		a := r.Avg[lat]
+		if a[0] > 1.05 || a[2] > 1.2 {
+			t.Errorf("fwd=%d idealized averages implausible: %v", lat, a)
+		}
+	}
+	if r.Avg[4][2] < r.Avg[1][2]-0.01 {
+		t.Errorf("higher latency reduced the idealized penalty: %v vs %v", r.Avg[4], r.Avg[1])
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestReplicationStudy(t *testing.T) {
+	r, err := Replication(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 4: replication must not matter much either way.
+	for i, g := range r.AvgGain {
+		if g > 0.05 || g < -0.05 {
+			t.Errorf("replication gain[%d] = %v — implausibly large", i, g)
+		}
+	}
+	if r.ReplicasPerKiloInst < 0 {
+		t.Errorf("negative replica density")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "replicas per 1000") {
+		t.Error("render missing replica density")
+	}
+}
+
+func TestFutureWorkStudy(t *testing.T) {
+	r, err := FutureWork(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either direction is a valid finding, but the policies must stay in
+	// the same league.
+	if r.Delta > 0.1 || r.Delta < -0.1 {
+		t.Errorf("readybalance delta %v implausible", r.Delta)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "readiness") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	r, err := Characterize(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CPI <= 0 || row.BranchFrac <= 0 || row.StaticPCs <= 0 {
+			t.Errorf("%s: implausible characterization %+v", row.Bench, row)
+		}
+		if row.MispredRate < 0 || row.MispredRate > 0.5 {
+			t.Errorf("%s: mispredict rate %v", row.Bench, row.MispredRate)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "CPI") {
+		t.Error("render missing header")
+	}
+}
+
+func TestPredictorSweep(t *testing.T) {
+	r, err := PredictorSweep(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Avg) != len(r.Bits) {
+		t.Fatal("mis-sized result")
+	}
+	// A bigger table must not be clearly worse than a tiny one.
+	if r.Avg[len(r.Avg)-1] > r.Avg[0]+0.02 {
+		t.Errorf("larger predictor tables hurt: %v", r.Avg)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "entries") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestGroupSteerStudy(t *testing.T) {
+	r, err := GroupSteer(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Losing intra-cycle placement knowledge must not help, and usually
+	// hurts.
+	if r.Delta < -0.01 {
+		t.Errorf("group steering outperformed serial steering by %v", -r.Delta)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "group steering costs") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestICostStudy(t *testing.T) {
+	r, err := ICost(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalFwd < 0 || r.TotalCont < 0 || r.TotalBoth < 0 {
+		t.Errorf("negative individual costs: %+v", r)
+	}
+	if r.TotalBoth < r.TotalFwd || r.TotalBoth < r.TotalCont {
+		t.Errorf("combined cost below an individual cost: %+v", r)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "interaction") {
+		t.Error("render missing interaction verdict")
+	}
+}
+
+func TestStallSweep(t *testing.T) {
+	r, err := StallSweep(fewBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.Rows() != 4 { // 3 benchmarks + AVE
+		t.Fatalf("rows = %d", r.Table.Rows())
+	}
+	for i := 0; i < r.Table.Rows(); i++ {
+		for c := range r.Thresholds {
+			v := r.Table.Value(i, c)
+			if v < 0.9 || v > 2 {
+				t.Errorf("%s thr=%v: normalized CPI %v implausible",
+					r.Table.Label(i), r.Thresholds[c], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, built on the simulator, the critical-path analyzer
+// and the idealized list scheduler. Every driver returns a structured
+// result (for tests and benchmarks) that knows how to render itself as a
+// terminal table mirroring the figure.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Figure2   — idealized list scheduling vs monolithic
+//	Figure4   — focused steering & scheduling slowdowns
+//	Figure5   — critical-path CPI breakdown
+//	Figure6   — contention-stall and forwarding-delay event breakdowns
+//	Figure8   — distribution of LoC values
+//	Figure14  — the three policies (l, s, p bars) and their breakdown
+//	Figure15  — achieved vs available ILP on 8x1w
+//	LoCOracle — Section 4's list-scheduler priority-knowledge study
+//	Consumers — Section 6's producer/consumer criticality statistics
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+	"clustersim/internal/xrand"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Benchmarks to run; nil means the paper's full twelve.
+	Benchmarks []string
+	// Insts is the dynamic instruction count per benchmark (the paper
+	// uses 3×100M samples; the default here keeps the full suite
+	// tractable on a laptop while preserving every trend).
+	Insts int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Fwd is the inter-cluster forwarding latency (the paper reports 2).
+	Fwd int
+	// EpochLen overrides the criticality-detector epoch.
+	EpochLen int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Benchmarks == nil {
+		o.Benchmarks = workload.Names()
+	}
+	if o.Insts <= 0 {
+		o.Insts = 200_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Fwd <= 0 {
+		o.Fwd = 2
+	}
+	return o
+}
+
+// Stack names a cumulative policy configuration from Figure 14.
+type Stack string
+
+const (
+	// StackFocused is the baseline: Fields et al.'s focused steering and
+	// scheduling with the binary criticality predictor.
+	StackFocused Stack = "focused"
+	// StackLoC adds LoC-based scheduling and steering (the "l" bars).
+	StackLoC Stack = "l"
+	// StackStall adds stall-over-steer (the "s" bars).
+	StackStall Stack = "s"
+	// StackProactive adds proactive load-balancing (the "p" bars).
+	StackProactive Stack = "p"
+)
+
+// Stacks returns the Figure 14 progression in order.
+func Stacks() []Stack { return []Stack{StackFocused, StackLoC, StackStall, StackProactive} }
+
+// runOut bundles one simulation's artifacts.
+type runOut struct {
+	m     *machine.Machine
+	res   machine.Result
+	exact *predictor.Exact
+}
+
+// seedFor derives a per-(benchmark, use) deterministic seed.
+func seedFor(base uint64, bench string, use string) uint64 {
+	h := base
+	for _, c := range bench + "/" + use {
+		h = h*1099511628211 + uint64(c)
+	}
+	return h
+}
+
+// genTrace generates the benchmark trace for opts.
+func genTrace(opts Options, bench string) (*trace.Trace, error) {
+	return workload.Generate(bench, opts.Insts, opts.Seed)
+}
+
+// parBench runs fn once per benchmark, concurrently (bounded by CPU
+// count), and returns the results in benchmark order. Every benchmark's
+// work is seeded independently, so parallel and serial runs produce
+// identical results. The first error wins.
+func parBench[T any](opts Options, fn func(bench string) (T, error)) ([]T, error) {
+	benches := opts.Benchmarks
+	out := make([]T, len(benches))
+	errs := make([]error, len(benches))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = fn(benches[i])
+			}
+		}()
+	}
+	for i := range benches {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runStack simulates tr on a clusters-way machine under the given policy
+// stack, with the online criticality detector training the appropriate
+// predictors. trackExact additionally records unlimited-precision
+// criticality frequencies.
+func runStack(opts Options, bench string, tr *trace.Trace, clusters int, stack Stack, trackExact bool) (runOut, error) {
+	cfg := machine.NewConfig(clusters)
+	cfg.FwdLatency = opts.Fwd
+
+	var pol machine.SteerPolicy
+	hooks := machine.Hooks{EpochLen: opts.EpochLen}
+	switch stack {
+	case StackFocused:
+		cfg.SchedMode = machine.SchedBinaryCritical
+		pol = steer.Focused{}
+		hooks.Binary = predictor.NewDefaultBinary()
+	case StackLoC:
+		cfg.SchedMode = machine.SchedLoC
+		pol = steer.LoC{}
+	case StackStall:
+		cfg.SchedMode = machine.SchedLoC
+		pol = &steer.StallOverSteer{}
+	case StackProactive:
+		cfg.SchedMode = machine.SchedLoC
+		pol = steer.NewProactive()
+	default:
+		return runOut{}, fmt.Errorf("experiments: unknown stack %q", stack)
+	}
+	if stack != StackFocused {
+		hooks.LoC = predictor.NewDefaultLoC(xrand.New(seedFor(opts.Seed, bench, "loc")))
+		// The binary predictor stays attached so Figure 6's
+		// predicted-critical attribution is meaningful on every stack.
+		hooks.Binary = predictor.NewDefaultBinary()
+	}
+
+	det := critpath.NewDetector(hooks.Binary, hooks.LoC)
+	var exact *predictor.Exact
+	if trackExact {
+		exact = predictor.NewExact()
+		det.TrackExact(exact)
+	}
+	hooks.OnEpoch = det.OnEpoch
+
+	m, err := machine.New(cfg, tr, pol, hooks)
+	if err != nil {
+		return runOut{}, err
+	}
+	det.Bind(m)
+	res := m.Run()
+	return runOut{m: m, res: res, exact: exact}, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestGoldenFigure4 pins exact headline values at a small, fixed scale.
+// Every layer of the stack is deterministic (own PRNG, ordered
+// reductions), so these values must reproduce bit-for-bit; a change here
+// means simulator or policy behavior changed and EXPERIMENTS.md needs
+// regenerating. Update the constants deliberately when that happens.
+func TestGoldenFigure4(t *testing.T) {
+	opts := Options{Insts: 20_000, Benchmarks: []string{"gzip", "vpr", "mcf"}}
+	r, err := Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%.6f %.6f %.6f",
+		r.Table.Value(0, 0), r.Table.Value(1, 1), r.Table.Value(2, 2))
+	want := golden(t, "figure4", got)
+	if got != want {
+		t.Errorf("Figure 4 golden mismatch:\n got %s\nwant %s\n(behavior changed: regenerate EXPERIMENTS.md and update the golden)", got, want)
+	}
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	opts := Options{Insts: 20_000, Benchmarks: []string{"gzip", "vpr", "mcf"}}
+	r, err := Figure2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%.6f %.6f %.6f",
+		r.Table.Value(0, 2), r.Table.Value(1, 2), r.Table.Value(2, 2))
+	want := golden(t, "figure2", got)
+	if got != want {
+		t.Errorf("Figure 2 golden mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+// goldenValues holds the pinned outputs. Keeping them in code (rather
+// than testdata files) makes behavior changes visible in review.
+var goldenValues = map[string]string{
+	"figure4": "1.079224 1.068801 1.083907",
+	"figure2": "1.019532 1.046488 1.000978",
+}
+
+// golden returns the pinned value, or — when running with
+// -run TestGolden -v after an intentional change — prints the new value
+// to splice into goldenValues.
+func golden(t *testing.T, key, got string) string {
+	want, ok := goldenValues[key]
+	if !ok {
+		t.Fatalf("no golden value for %q; measured %q", key, got)
+	}
+	if want != got {
+		t.Logf("measured %q = %q", key, got)
+	}
+	return want
+}
+
+// TestGoldenDeterminism double-checks that two identical invocations of a
+// parallel driver agree exactly (the property the goldens rely on).
+func TestGoldenDeterminism(t *testing.T) {
+	opts := Options{Insts: 10_000, Benchmarks: []string{"vpr", "gzip"}}
+	a, err := Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Table.Rows(); i++ {
+		for c := 0; c < 3; c++ {
+			if math.Abs(a.Table.Value(i, c)-b.Table.Value(i, c)) != 0 {
+				t.Fatalf("row %d col %d differs between identical runs", i, c)
+			}
+		}
+	}
+}

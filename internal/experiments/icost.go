@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/stats"
+)
+
+// ICostResult is the interaction-cost analysis of the two clustering
+// penalties (Section 3's caveat, per Fields et al. MICRO'03): the cost of
+// forwarding delay and contention individually and together, on the
+// focused 8x1w machine. A combined cost above the sum of individual
+// costs means the penalties compose serially; below it, they hide behind
+// each other on parallel paths — the reason the paper warns that
+// eliminating one attributed penalty "is not guaranteed" to pay in full.
+type ICostResult struct {
+	Table *stats.Table
+	// Sums across benchmarks, in cycles.
+	TotalFwd, TotalCont, TotalBoth, TotalICost int64
+}
+
+// ICost runs the interaction analysis.
+func ICost(opts Options) (*ICostResult, error) {
+	opts = opts.withDefaults()
+	t := &stats.Table{Title: "Interaction costs on 8x1w focused (CPI units): fwd vs contention",
+		Columns: []string{"cost-fwd", "cost-cont", "cost-both", "icost"}}
+	r := &ICostResult{}
+	type out struct {
+		ic critpath.InteractionCosts
+		n  float64
+	}
+	outs, err := parBench(opts, func(bench string) (out, error) {
+		tr, err := genTrace(opts, bench)
+		if err != nil {
+			return out{}, err
+		}
+		run, err := runStack(opts, bench, tr, 8, StackFocused, false)
+		if err != nil {
+			return out{}, err
+		}
+		ic, err := critpath.AnalyzeInteraction(run.m)
+		if err != nil {
+			return out{}, err
+		}
+		return out{ic: ic, n: float64(run.res.Insts)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range opts.Benchmarks {
+		ic, n := outs[i].ic, outs[i].n
+		t.AddRow(bench, float64(ic.CostFwd)/n, float64(ic.CostCont)/n,
+			float64(ic.CostBoth)/n, float64(ic.ICost)/n)
+		r.TotalFwd += ic.CostFwd
+		r.TotalCont += ic.CostCont
+		r.TotalBoth += ic.CostBoth
+		r.TotalICost += ic.ICost
+	}
+	t.AddRow("AVE", t.ColumnMeans()...)
+	r.Table = t
+	return r, nil
+}
+
+// Render writes the interaction table.
+func (r *ICostResult) Render(w io.Writer) {
+	r.Table.Render(w)
+	switch {
+	case r.TotalICost < 0:
+		fmt.Fprintln(w, "negative interaction: forwarding delay and contention overlap on parallel")
+		fmt.Fprintln(w, "near-critical paths — removing one alone recovers less than its attribution")
+	case r.TotalICost > 0:
+		fmt.Fprintln(w, "positive interaction: the penalties compose serially")
+	default:
+		fmt.Fprintln(w, "the penalties are independent")
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/xrand"
+)
+
+// PredictorSweepResult is the predictor-capacity ablation: the paper
+// sizes its PC-indexed tables generously (and Section 7 shows 4-bit
+// probabilistic counters suffice per entry); this sweep shows how much
+// table aliasing a real design could tolerate.
+type PredictorSweepResult struct {
+	Bits []uint
+	Avg  []float64 // 8x1w normalized CPI under stall-over-steer per size
+}
+
+// PredictorSweep varies the LoC/binary table size (2^bits entries).
+func PredictorSweep(opts Options) (*PredictorSweepResult, error) {
+	opts = opts.withDefaults()
+	r := &PredictorSweepResult{Bits: []uint{6, 10, 16}}
+	rows, err := parBench(opts, func(bench string) ([]float64, error) {
+		tr, err := genTrace(opts, bench)
+		if err != nil {
+			return nil, err
+		}
+		base, err := runStack(opts, bench, tr, 1, StackLoC, false)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(r.Bits))
+		for i, bits := range r.Bits {
+			cfg := machine.NewConfig(8)
+			cfg.FwdLatency = opts.Fwd
+			cfg.SchedMode = machine.SchedLoC
+			binary := predictor.NewBinary(bits)
+			loc := predictor.NewLoC(bits, xrand.New(seedFor(opts.Seed, bench, "ps-loc")))
+			det := critpath.NewDetector(binary, loc)
+			m, err := machine.New(cfg, tr, &steer.StallOverSteer{}, machine.Hooks{
+				Binary: binary, LoC: loc, OnEpoch: det.OnEpoch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			det.Bind(m)
+			res := m.Run()
+			vals[i] = res.CPI() / base.res.CPI()
+		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Avg = averageRows(rows, len(r.Bits), len(opts.Benchmarks))
+	return r, nil
+}
+
+// Render writes the predictor-capacity ablation.
+func (r *PredictorSweepResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Predictor table-size ablation (8x1w, stall-over-steer; avg normalized CPI)")
+	for i, bits := range r.Bits {
+		fmt.Fprintf(w, "%6d entries %8.3f\n", 1<<bits, r.Avg[i])
+	}
+}

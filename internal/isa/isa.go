@@ -1,0 +1,161 @@
+// Package isa defines the dynamic instruction model shared by the trace
+// substrate, the timing simulator, the critical-path analyzer and the
+// idealized list scheduler.
+//
+// The model is deliberately Alpha-flavored (the paper compiles SPEC2000
+// with the DEC C Alpha compiler and uses Alpha 21264 latencies): dyadic
+// register-register operations, up to two source registers, at most one
+// destination register, and the functional-unit classes of Table 1.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The integer and floating-point
+// files share one namespace (0..NumRegs-1); NoReg marks an absent operand.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file. 64 covers the
+// Alpha's 32 integer + 31 FP registers with headroom for the synthetic
+// workload generators.
+const NumRegs = 64
+
+// NoReg marks an unused source or destination operand.
+const NoReg Reg = 0xFF
+
+// Valid reports whether r names a real register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op classifies a dynamic instruction by its execution behavior.
+type Op uint8
+
+// Operation classes. Latencies follow the Alpha 21264 (Table 1 of the
+// paper: "Instruction latencies match the Alpha 21264, e.g. 3 cycle
+// load-to-use").
+const (
+	IntALU  Op = iota // single-cycle integer op (add, cmp, logical, shift)
+	IntMult           // integer multiply
+	Load              // memory load
+	Store             // memory store
+	Branch            // conditional or unconditional branch
+	FPAdd             // floating-point add/sub/convert
+	FPMult            // floating-point multiply
+	FPDiv             // floating-point divide
+	NumOps
+)
+
+var opNames = [NumOps]string{"IntALU", "IntMult", "Load", "Store", "Branch", "FPAdd", "FPMult", "FPDiv"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// FU classifies the functional-unit port an operation consumes. Table 1
+// partitions execution bandwidth into integer, floating-point and memory
+// ports (up to 8 int, 4 FP, 4 mem per cycle on the monolithic machine).
+type FU uint8
+
+const (
+	FUInt FU = iota
+	FUFP
+	FUMem
+	NumFUs
+)
+
+var fuNames = [NumFUs]string{"int", "fp", "mem"}
+
+func (f FU) String() string {
+	if int(f) < len(fuNames) {
+		return fuNames[f]
+	}
+	return fmt.Sprintf("FU(%d)", uint8(f))
+}
+
+// latencies[op] is the execution latency in cycles, excluding any cache
+// miss penalty (added by the memory model for loads).
+var latencies = [NumOps]int{
+	IntALU:  1,
+	IntMult: 7,
+	Load:    3, // 3-cycle load-to-use on an L1 hit (2-cycle L1 + AGEN)
+	Store:   1, // address generation; data is drained at commit
+	Branch:  1,
+	FPAdd:   4,
+	FPMult:  4,
+	FPDiv:   12,
+}
+
+var fus = [NumOps]FU{
+	IntALU:  FUInt,
+	IntMult: FUInt,
+	Load:    FUMem,
+	Store:   FUMem,
+	Branch:  FUInt,
+	FPAdd:   FUFP,
+	FPMult:  FUFP,
+	FPDiv:   FUFP,
+}
+
+// Latency returns the L1-hit execution latency of op in cycles.
+func (o Op) Latency() int { return latencies[o] }
+
+// FU returns the functional-unit class op issues to.
+func (o Op) FU() FU { return fus[o] }
+
+// IsMem reports whether op accesses the data cache.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// IsBranch reports whether op is a branch.
+func (o Op) IsBranch() bool { return o == Branch }
+
+// IsFP reports whether op executes on the floating-point pipeline.
+func (o Op) IsFP() bool { return fus[o] == FUFP }
+
+// Inst is one dynamic (committed) instruction in a trace.
+//
+// Wrong-path instructions are not represented: as in the paper's
+// trace-driven simulator, misprediction cost is modeled as a front-end
+// redirect penalty rather than by executing wrong-path work.
+type Inst struct {
+	PC    uint64 // static instruction address (identifies the static inst)
+	Addr  uint64 // effective address (Load/Store only)
+	Src   [2]Reg // source operands; NoReg if unused
+	Dst   Reg    // destination register; NoReg if none
+	Op    Op
+	Taken bool // branch outcome (Branch only)
+}
+
+// NumSrcs returns how many valid source operands the instruction has.
+func (in *Inst) NumSrcs() int {
+	n := 0
+	for _, s := range in.Src {
+		if s.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// HasDst reports whether the instruction writes a register.
+func (in *Inst) HasDst() bool { return in.Dst.Valid() }
+
+func (in *Inst) String() string {
+	s := fmt.Sprintf("%s pc=%#x", in.Op, in.PC)
+	if in.Src[0].Valid() {
+		s += fmt.Sprintf(" r%d", in.Src[0])
+	}
+	if in.Src[1].Valid() {
+		s += fmt.Sprintf(",r%d", in.Src[1])
+	}
+	if in.HasDst() {
+		s += fmt.Sprintf(" -> r%d", in.Dst)
+	}
+	if in.Op.IsMem() {
+		s += fmt.Sprintf(" [%#x]", in.Addr)
+	}
+	if in.Op.IsBranch() {
+		s += fmt.Sprintf(" taken=%v", in.Taken)
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatenciesMatchAlpha21264(t *testing.T) {
+	// Table 1: latencies match the Alpha 21264, e.g. 3-cycle load-to-use.
+	cases := map[Op]int{
+		IntALU:  1,
+		IntMult: 7,
+		Load:    3,
+		Store:   1,
+		Branch:  1,
+		FPAdd:   4,
+		FPMult:  4,
+		FPDiv:   12,
+	}
+	for op, want := range cases {
+		if got := op.Latency(); got != want {
+			t.Errorf("%s latency = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestEveryOpHasPositiveLatency(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.Latency() <= 0 {
+			t.Errorf("%s has non-positive latency", op)
+		}
+	}
+}
+
+func TestFUClasses(t *testing.T) {
+	if Load.FU() != FUMem || Store.FU() != FUMem {
+		t.Error("memory ops must use the memory port")
+	}
+	if IntALU.FU() != FUInt || IntMult.FU() != FUInt || Branch.FU() != FUInt {
+		t.Error("integer ops and branches must use integer units")
+	}
+	for _, op := range []Op{FPAdd, FPMult, FPDiv} {
+		if op.FU() != FUFP {
+			t.Errorf("%s must use the FP unit", op)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() || IntALU.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !Branch.IsBranch() || Load.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	if !FPDiv.IsFP() || IntMult.IsFP() {
+		t.Error("IsFP wrong")
+	}
+}
+
+func TestRegValidity(t *testing.T) {
+	if NoReg.Valid() {
+		t.Error("NoReg must be invalid")
+	}
+	if !Reg(0).Valid() || !Reg(NumRegs-1).Valid() {
+		t.Error("in-range registers must be valid")
+	}
+	if Reg(NumRegs).Valid() {
+		t.Error("out-of-range register must be invalid")
+	}
+}
+
+func TestNumSrcsAndHasDst(t *testing.T) {
+	in := Inst{Op: IntALU, Src: [2]Reg{1, NoReg}, Dst: 3}
+	if in.NumSrcs() != 1 {
+		t.Errorf("NumSrcs = %d, want 1", in.NumSrcs())
+	}
+	if !in.HasDst() {
+		t.Error("HasDst = false, want true")
+	}
+	st := Inst{Op: Store, Src: [2]Reg{1, 2}, Dst: NoReg}
+	if st.NumSrcs() != 2 || st.HasDst() {
+		t.Error("store operand accounting wrong")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	in := Inst{Op: Load, PC: 0x1000, Addr: 0x2000, Src: [2]Reg{5, NoReg}, Dst: 7}
+	s := in.String()
+	for _, want := range []string{"Load", "0x1000", "r5", "r7", "0x2000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Inst.String() = %q missing %q", s, want)
+		}
+	}
+	if Op(200).String() == "" || FU(200).String() == "" {
+		t.Error("out-of-range String must not be empty")
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if strings.HasPrefix(op.String(), "Op(") {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	for fu := FU(0); fu < NumFUs; fu++ {
+		if strings.HasPrefix(fu.String(), "FU(") {
+			t.Errorf("fu %d has no name", fu)
+		}
+	}
+}
+
+func TestBranchString(t *testing.T) {
+	b := Inst{Op: Branch, PC: 4, Taken: true}
+	if !strings.Contains(b.String(), "taken=true") {
+		t.Errorf("branch String missing outcome: %q", b.String())
+	}
+}

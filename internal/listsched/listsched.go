@@ -1,0 +1,478 @@
+// Package listsched implements the paper's idealized study (Section 2.2):
+// an oracle list scheduler that performs steering and instruction
+// scheduling in a single pass over a retired-instruction trace, with a
+// global (monolithic) view of all in-flight instructions and exact future
+// knowledge.
+//
+// The scheduler respects the constraints the paper imposes: per-cycle
+// issue and functional-unit limits of the modeled cluster configuration,
+// the global communication penalty for cross-cluster dataflow, and the
+// monolithic front end's fetch constraints — an instruction cannot be
+// scheduled before the cycle it was dispatched into the 1x8w machine's
+// window (which also carries branch-misprediction latency). Priorities
+// favor instructions from which long dataflow chains emanate and those on
+// the backward slice of mispredicted branches, and placement favors
+// collocating consumers with their producers.
+package listsched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/trace"
+)
+
+// Input is the trace-derived material the scheduler works from.
+type Input struct {
+	Trace *trace.Trace
+	// Release[i] is the earliest cycle instruction i may be scheduled
+	// (its dispatch cycle on the monolithic machine).
+	Release []int64
+	// Latency[i] is the observed execution latency (includes cache
+	// misses observed by the monolithic run).
+	Latency []int64
+	// Mispredicted[i] marks branches the monolithic run mispredicted.
+	// They both feed the oracle priority's backward-slice marking and
+	// split the trace into scheduling regions (footnote 2 of the paper):
+	// instructions after a mispredicted branch cannot be fetched until
+	// it resolves, so if a schedule resolves the branch later than the
+	// monolithic machine did, every later release shifts by the excess.
+	Mispredicted []bool
+	// Complete[i] is the monolithic machine's completion cycle, used to
+	// compute that excess for region shifting.
+	Complete []int64
+}
+
+// FromMachineRun harvests Input from a completed (typically 1x8w)
+// machine run, as the paper does from its back-end retirement trace.
+func FromMachineRun(m *machine.Machine) Input {
+	ev := m.Events()
+	in := Input{
+		Trace:        m.Trace(),
+		Release:      make([]int64, len(ev)),
+		Latency:      make([]int64, len(ev)),
+		Mispredicted: make([]bool, len(ev)),
+		Complete:     make([]int64, len(ev)),
+	}
+	for i := range ev {
+		in.Release[i] = ev[i].Dispatch
+		in.Latency[i] = ev[i].Complete - ev[i].Issue
+		in.Mispredicted[i] = ev[i].Mispredicted
+		in.Complete[i] = ev[i].Complete
+	}
+	return in
+}
+
+// Validate reports structural problems with the input.
+func (in Input) Validate() error {
+	n := in.Trace.Len()
+	if len(in.Release) != n || len(in.Latency) != n || len(in.Mispredicted) != n || len(in.Complete) != n {
+		return fmt.Errorf("listsched: input slices sized %d/%d/%d/%d for %d instructions",
+			len(in.Release), len(in.Latency), len(in.Mispredicted), len(in.Complete), n)
+	}
+	for i := 0; i < n; i++ {
+		if in.Latency[i] <= 0 {
+			return fmt.Errorf("listsched: instruction %d has latency %d", i, in.Latency[i])
+		}
+		if in.Release[i] < 0 {
+			return fmt.Errorf("listsched: instruction %d has negative release", i)
+		}
+	}
+	return nil
+}
+
+// Config describes the clustered resources being scheduled onto.
+type Config struct {
+	Clusters int
+	Width    int // issue slots per cluster per cycle
+	Int      int // integer slots per cluster per cycle
+	FP       int
+	Mem      int
+	Fwd      int // inter-cluster forwarding latency
+}
+
+// ConfigFor derives the scheduler resource model from a machine config.
+func ConfigFor(mc machine.Config) Config {
+	return Config{
+		Clusters: mc.Clusters,
+		Width:    mc.IssuePerCluster,
+		Int:      mc.IntPerCluster,
+		FP:       mc.FPPerCluster,
+		Mem:      mc.MemPerCluster,
+		Fwd:      mc.FwdLatency,
+	}
+}
+
+// Priority orders ready instructions; larger keys schedule first.
+type Priority interface {
+	Key(seq int64, pc uint64) int64
+}
+
+// Schedule is the scheduler's output: a placement (cluster) and slotting
+// (start cycle) per instruction.
+type Schedule struct {
+	Start    []int64
+	Complete []int64
+	Cluster  []int16
+	Makespan int64
+	// CrossEdges counts producer→consumer edges that paid the forwarding
+	// latency; DyadicCross counts those whose consumer has two register
+	// sources (the paper's convergent-dataflow indicator).
+	CrossEdges  int64
+	DyadicCross int64
+}
+
+// CPI returns the schedule's cycles per instruction.
+func (s *Schedule) CPI() float64 {
+	if len(s.Start) == 0 {
+		return 0
+	}
+	return float64(s.Makespan) / float64(len(s.Start))
+}
+
+// resourceLane tracks per-cycle usage of one resource at one cluster.
+type resourceLane struct {
+	used []uint8
+	cap  uint8
+}
+
+func (l *resourceLane) at(t int64) uint8 {
+	if int64(len(l.used)) <= t {
+		return 0
+	}
+	return l.used[t]
+}
+
+func (l *resourceLane) take(t int64) {
+	for int64(len(l.used)) <= t {
+		l.used = append(l.used, 0)
+	}
+	l.used[t]++
+}
+
+func (l *resourceLane) free(t int64) bool { return l.at(t) < l.cap }
+
+type clusterRes struct {
+	width, integer, fp, mem resourceLane
+}
+
+func (c *clusterRes) fits(op isa.Op, t int64) bool {
+	if !c.width.free(t) {
+		return false
+	}
+	switch op.FU() {
+	case isa.FUInt:
+		return c.integer.free(t)
+	case isa.FUFP:
+		return c.fp.free(t)
+	default:
+		return c.mem.free(t)
+	}
+}
+
+func (c *clusterRes) take(op isa.Op, t int64) {
+	c.width.take(t)
+	switch op.FU() {
+	case isa.FUInt:
+		c.integer.take(t)
+	case isa.FUFP:
+		c.fp.take(t)
+	default:
+		c.mem.take(t)
+	}
+}
+
+// readyHeap is a max-heap on (priority key, older first).
+type readyItem struct {
+	seq int64
+	key int64
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Run list-schedules the input onto cfg's resources using pri.
+func Run(in Input, cfg Config, pri Priority) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Clusters < 1 || cfg.Width < 1 || cfg.Int < 1 || cfg.FP < 1 || cfg.Mem < 1 || cfg.Fwd < 0 {
+		return nil, fmt.Errorf("listsched: invalid config %+v", cfg)
+	}
+	tr := in.Trace
+	n := tr.Len()
+	s := &Schedule{
+		Start:    make([]int64, n),
+		Complete: make([]int64, n),
+		Cluster:  make([]int16, n),
+	}
+	res := make([]clusterRes, cfg.Clusters)
+	for k := range res {
+		res[k].width.cap = uint8(cfg.Width)
+		res[k].integer.cap = uint8(cfg.Int)
+		res[k].fp.cap = uint8(cfg.FP)
+		res[k].mem.cap = uint8(cfg.Mem)
+	}
+
+	// Dependence bookkeeping: per-producer consumer lists (linked through
+	// per-edge nodes — a consumer can appear in several producers' lists,
+	// so list nodes are edges, not consumers) and unscheduled producer
+	// counts. Each instruction has at most 3 producer edges.
+	pending := make([]int32, n)
+	firstEdge := make([]int32, n)
+	lastEdge := make([]int32, n)
+	nextEdge := make([]int32, 3*n)
+	for i := range firstEdge {
+		firstEdge[i] = trace.None
+		lastEdge[i] = trace.None
+	}
+	for i := range nextEdge {
+		nextEdge[i] = trace.None
+	}
+	var prodBuf []int32
+	for i := 0; i < n; i++ {
+		prodBuf = tr.Producers(i, prodBuf[:0])
+		seen := int32(trace.None)
+		for slot, p := range prodBuf {
+			if p == seen {
+				continue
+			}
+			seen = p
+			pending[i]++
+			e := int32(3*i + slot)
+			if firstEdge[p] == trace.None {
+				firstEdge[p] = e
+			} else {
+				nextEdge[lastEdge[p]] = e
+			}
+			lastEdge[p] = e
+		}
+	}
+
+	// Regions: the trace split after each mispredicted branch. Within a
+	// region the scheduler has full future knowledge; across regions, a
+	// schedule that resolves the separating branch later than the
+	// monolithic machine did shifts every subsequent release by the
+	// excess (shift is monotone and never negative, keeping the estimate
+	// conservative, per the paper's footnote 2).
+	var shift int64
+	scheduled := 0
+	h := &readyHeap{}
+	regionStart := 0
+	for regionStart < n {
+		regionEnd := regionStart
+		for regionEnd < n {
+			regionEnd++
+			if in.Mispredicted[regionEnd-1] {
+				break
+			}
+		}
+		// Producers outside the region are already scheduled; only
+		// intra-region edges gate readiness.
+		*h = (*h)[:0]
+		for i := regionStart; i < regionEnd; i++ {
+			pending[i] = 0
+			prodBuf = tr.Producers(i, prodBuf[:0])
+			seen := int32(trace.None)
+			for _, p := range prodBuf {
+				if p == seen {
+					continue
+				}
+				seen = p
+				if int(p) >= regionStart {
+					pending[i]++
+				}
+			}
+			if pending[i] == 0 {
+				heap.Push(h, readyItem{int64(i), pri.Key(int64(i), tr.Insts[i].PC)})
+			}
+		}
+		for h.Len() > 0 {
+			it := heap.Pop(h).(readyItem)
+			i := it.seq
+			s.scheduleOne(tr, in, cfg, res, int(i), shift, &prodBuf)
+			scheduled++
+			for e := firstEdge[i]; e != trace.None; e = nextEdge[e] {
+				c := e / 3
+				if int(c) >= regionEnd {
+					continue // later region: handled when that region opens
+				}
+				pending[c]--
+				if pending[c] == 0 {
+					heap.Push(h, readyItem{int64(c), pri.Key(int64(c), tr.Insts[c].PC)})
+				}
+			}
+		}
+		// Advance the shift if the separating branch resolved later than
+		// it did on the monolithic machine.
+		b := regionEnd - 1
+		if in.Mispredicted[b] {
+			if excess := s.Complete[b] - (in.Complete[b] + shift); excess > 0 {
+				shift += excess
+			}
+		}
+		regionStart = regionEnd
+	}
+	if scheduled != n {
+		return nil, fmt.Errorf("listsched: scheduled %d of %d (dependence cycle?)", scheduled, n)
+	}
+	return s, nil
+}
+
+// scheduleOne places instruction i at its best cluster and earliest
+// feasible cycle.
+func (s *Schedule) scheduleOne(tr *trace.Trace, in Input, cfg Config, res []clusterRes, i int, shift int64, prodBufp *[]int32) {
+	in0 := &tr.Insts[i]
+	prodBuf := *prodBufp
+
+	// Operand availability per cluster and the cluster holding the
+	// latest-arriving producer (the locality preference).
+	prodBuf = tr.Producers(i, prodBuf[:0])
+	var latest int64 = -1
+	latestCluster := -1
+	for _, p := range prodBuf {
+		if s.Complete[p] > latest {
+			latest = s.Complete[p]
+			latestCluster = int(s.Cluster[p])
+		}
+	}
+
+	bestT := int64(1) << 62
+	bestK := 0
+	for k := 0; k < cfg.Clusters; k++ {
+		t := in.Release[i] + shift
+		for _, p := range prodBuf {
+			avail := s.Complete[p]
+			if int(s.Cluster[p]) != k {
+				avail += int64(cfg.Fwd)
+			}
+			if avail > t {
+				t = avail
+			}
+		}
+		for !res[k].fits(in0.Op, t) {
+			t++
+		}
+		if t < bestT || (t == bestT && k == latestCluster) {
+			bestT = t
+			bestK = k
+		}
+	}
+
+	s.Start[i] = bestT
+	s.Cluster[i] = int16(bestK)
+	s.Complete[i] = bestT + in.Latency[i]
+	res[bestK].take(in0.Op, bestT)
+	if s.Complete[i] > s.Makespan {
+		s.Makespan = s.Complete[i]
+	}
+	for _, p := range prodBuf {
+		if int(s.Cluster[p]) != bestK {
+			s.CrossEdges++
+			if in0.NumSrcs() == 2 {
+				s.DyadicCross++
+			}
+		}
+	}
+	*prodBufp = prodBuf
+}
+
+// Oracle is the Section 2.2 priority: dataflow height (longest dependent
+// chain emanating from the instruction) plus a large bonus for
+// instructions on the backward slice of a mispredicted branch.
+type Oracle struct {
+	key []int64
+}
+
+// sliceBonus dominates any realistic dataflow height.
+const sliceBonus = int64(1) << 40
+
+// NewOracle computes the oracle priority for the input.
+func NewOracle(in Input) *Oracle {
+	tr := in.Trace
+	n := tr.Len()
+	height := make([]int64, n)
+	onSlice := make([]bool, n)
+	var prodBuf []int32
+	// One descending pass: consumers have larger indices, so both the
+	// height recurrence and backward-slice transitive marking complete
+	// in a single sweep.
+	for i := n - 1; i >= 0; i-- {
+		height[i] += in.Latency[i]
+		if in.Mispredicted[i] {
+			onSlice[i] = true
+		}
+		prodBuf = tr.Producers(i, prodBuf[:0])
+		for _, p := range prodBuf {
+			if height[i] > height[p] {
+				height[p] = height[i] // accumulate: producer height = lat + max consumer height
+			}
+			if onSlice[i] {
+				onSlice[p] = true
+			}
+		}
+	}
+	o := &Oracle{key: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		o.key[i] = height[i]
+		if onSlice[i] {
+			o.key[i] += sliceBonus
+		}
+	}
+	return o
+}
+
+// Key implements Priority.
+func (o *Oracle) Key(seq int64, pc uint64) int64 { return o.key[seq] }
+
+// LoCPriority prioritizes by observed likelihood of criticality, with
+// optional stratification (Levels=16 reproduces the paper's 4-bit
+// predictor; Levels=0 keeps unlimited precision). Section 4 uses this to
+// show past criticality is a good stand-in for oracle knowledge.
+type LoCPriority struct {
+	Exact  *predictor.Exact
+	Levels int
+}
+
+// Key implements Priority.
+func (l LoCPriority) Key(seq int64, pc uint64) int64 {
+	f := l.Exact.Frac(pc)
+	if l.Levels > 0 {
+		return int64(f * float64(l.Levels-1) * 1e6)
+	}
+	return int64(f * 1e9)
+}
+
+// BinaryPriority prioritizes by the binary critical/not-critical
+// classification (the Section 4 comparison point).
+type BinaryPriority struct {
+	Exact *predictor.Exact
+	// Threshold is the classification frequency (default 1/8, matching
+	// the Fields counter's effective rate).
+	Threshold float64
+}
+
+// Key implements Priority.
+func (b BinaryPriority) Key(seq int64, pc uint64) int64 {
+	thr := b.Threshold
+	if thr == 0 {
+		thr = 1.0 / 8
+	}
+	if b.Exact.Frac(pc) >= thr {
+		return 1
+	}
+	return 0
+}

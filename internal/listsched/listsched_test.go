@@ -1,0 +1,287 @@
+package listsched_test
+
+import (
+	"testing"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/listsched"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+// prepare runs the monolithic machine over a workload and returns the
+// scheduler input, as the experiments do.
+func prepare(t *testing.T, bench string, n int) (listsched.Input, *machine.Machine) {
+	t.Helper()
+	tr, err := workload.Generate(bench, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(machine.NewConfig(1), tr, steer.DepBased{}, machine.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	return listsched.FromMachineRun(m), m
+}
+
+// checkLegal verifies schedule legality: release times, dataflow with
+// forwarding, and per-cycle resource limits.
+func checkLegal(t *testing.T, in listsched.Input, cfg listsched.Config, s *listsched.Schedule) {
+	t.Helper()
+	tr := in.Trace
+	type key struct {
+		cluster int16
+		cycle   int64
+	}
+	width := map[key]int{}
+	fus := map[key]map[isa.FU]int{}
+	for i := 0; i < tr.Len(); i++ {
+		if s.Start[i] < in.Release[i] {
+			t.Fatalf("inst %d starts at %d before release %d", i, s.Start[i], in.Release[i])
+		}
+		if s.Complete[i] != s.Start[i]+in.Latency[i] {
+			t.Fatalf("inst %d latency not respected", i)
+		}
+		if int(s.Cluster[i]) >= cfg.Clusters {
+			t.Fatalf("inst %d on cluster %d", i, s.Cluster[i])
+		}
+		for _, p := range tr.Producers(i, nil) {
+			avail := s.Complete[p]
+			if s.Cluster[p] != s.Cluster[i] {
+				avail += int64(cfg.Fwd)
+			}
+			if s.Start[i] < avail {
+				t.Fatalf("inst %d starts at %d before operand from %d at %d",
+					i, s.Start[i], p, avail)
+			}
+		}
+		k := key{s.Cluster[i], s.Start[i]}
+		width[k]++
+		if fus[k] == nil {
+			fus[k] = map[isa.FU]int{}
+		}
+		fus[k][tr.Insts[i].Op.FU()]++
+	}
+	for k, n := range width {
+		if n > cfg.Width {
+			t.Fatalf("cluster %d cycle %d has %d > width %d", k.cluster, k.cycle, n, cfg.Width)
+		}
+	}
+	limits := map[isa.FU]int{isa.FUInt: cfg.Int, isa.FUFP: cfg.FP, isa.FUMem: cfg.Mem}
+	for k, m := range fus {
+		for fu, n := range m {
+			if n > limits[fu] {
+				t.Fatalf("cluster %d cycle %d: %d %s ops > %d", k.cluster, k.cycle, n, fu, limits[fu])
+			}
+		}
+	}
+}
+
+func TestSchedulesAreLegal(t *testing.T) {
+	in, _ := prepare(t, "vpr", 4000)
+	for _, clusters := range []int{1, 2, 4, 8} {
+		cfg := listsched.ConfigFor(machine.NewConfig(clusters))
+		s, err := listsched.Run(in, cfg, listsched.NewOracle(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLegal(t, in, cfg, s)
+	}
+}
+
+func TestOracleBeatsTheRealMachine(t *testing.T) {
+	// The idealized monolithic schedule (global window, oracle priority)
+	// must not be slower than the real monolithic machine.
+	for _, bench := range []string{"vpr", "gzip", "gcc"} {
+		in, m := prepare(t, bench, 5000)
+		s, err := listsched.Run(in, listsched.ConfigFor(machine.NewConfig(1)), listsched.NewOracle(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		machineCycles := m.Events()[in.Trace.Len()-1].Commit
+		if s.Makespan > machineCycles {
+			t.Errorf("%s: oracle makespan %d > machine %d", bench, s.Makespan, machineCycles)
+		}
+	}
+}
+
+func TestClusteredOracleNearMonolithic(t *testing.T) {
+	// The paper's headline (Figure 2): idealized schedules for clustered
+	// configurations come close to the monolithic one. At test scale we
+	// allow a loose bound; the experiment harness reports exact numbers.
+	for _, bench := range []string{"gzip", "eon"} {
+		in, _ := prepare(t, bench, 6000)
+		mono, err := listsched.Run(in, listsched.ConfigFor(machine.NewConfig(1)), listsched.NewOracle(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, clusters := range []int{2, 4, 8} {
+			s, err := listsched.Run(in, listsched.ConfigFor(machine.NewConfig(clusters)), listsched.NewOracle(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := float64(s.Makespan) / float64(mono.Makespan)
+			if ratio > 1.15 {
+				t.Errorf("%s %d clusters: idealized ratio %.3f too far from monolithic",
+					bench, clusters, ratio)
+			}
+			if ratio < 0.999 {
+				t.Errorf("%s %d clusters: clustered schedule beat monolithic (%.3f)?",
+					bench, clusters, ratio)
+			}
+		}
+	}
+}
+
+func TestSingleChainScheduleIsTight(t *testing.T) {
+	// A dependent chain of N unit-latency adds must finish in exactly
+	// release + N cycles, on any cluster count, with zero cross edges.
+	const n = 100
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{PC: uint64(4 * i), Op: isa.IntALU, Dst: 1,
+			Src: [2]isa.Reg{1, isa.NoReg}}
+	}
+	insts[0].Src = [2]isa.Reg{isa.NoReg, isa.NoReg}
+	tr := trace.Rebuild(insts)
+	in := listsched.Input{
+		Trace:        tr,
+		Release:      make([]int64, n),
+		Latency:      make([]int64, n),
+		Mispredicted: make([]bool, n),
+		Complete:     make([]int64, n),
+	}
+	for i := range in.Latency {
+		in.Latency[i] = 1
+	}
+	for _, clusters := range []int{1, 8} {
+		s, err := listsched.Run(in, listsched.ConfigFor(machine.NewConfig(clusters)), listsched.NewOracle(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != n {
+			t.Errorf("%d clusters: chain makespan %d, want %d", clusters, s.Makespan, n)
+		}
+		if s.CrossEdges != 0 {
+			t.Errorf("%d clusters: oracle split a pure chain (%d cross edges)", clusters, s.CrossEdges)
+		}
+	}
+}
+
+func TestParallelChainsUseAllClusters(t *testing.T) {
+	// 8 independent unit-latency chains of length 50 on 8x1w: the oracle
+	// should finish in ~50 cycles by giving each chain its own cluster.
+	const chains, length = 8, 50
+	var insts []isa.Inst
+	for step := 0; step < length; step++ {
+		for c := 0; c < chains; c++ {
+			insts = append(insts, isa.Inst{PC: uint64(4 * (step*chains + c)),
+				Op: isa.IntALU, Dst: isa.Reg(c + 1), Src: [2]isa.Reg{isa.Reg(c + 1), isa.NoReg}})
+		}
+	}
+	for c := 0; c < chains; c++ {
+		insts[c].Src = [2]isa.Reg{isa.NoReg, isa.NoReg}
+	}
+	tr := trace.Rebuild(insts)
+	n := tr.Len()
+	in := listsched.Input{Trace: tr, Release: make([]int64, n),
+		Latency: make([]int64, n), Mispredicted: make([]bool, n), Complete: make([]int64, n)}
+	for i := range in.Latency {
+		in.Latency[i] = 1
+	}
+	s, err := listsched.Run(in, listsched.ConfigFor(machine.NewConfig(8)), listsched.NewOracle(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan > length+2 {
+		t.Errorf("8 chains on 8 clusters: makespan %d, want ≈%d", s.Makespan, length)
+	}
+	if s.CrossEdges != 0 {
+		t.Errorf("independent chains crossed clusters %d times", s.CrossEdges)
+	}
+}
+
+func TestLoCPriorityCloseToOracle(t *testing.T) {
+	// Section 4: replacing oracle knowledge with observed per-PC
+	// criticality frequency costs little. Build the exact tracker from a
+	// critical-path-free proxy: train with the oracle marks themselves.
+	in, _ := prepare(t, "vpr", 5000)
+	oracle := listsched.NewOracle(in)
+	cfg := listsched.ConfigFor(machine.NewConfig(4))
+	sOracle, err := listsched.Run(in, cfg, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := predictor.NewExact()
+	// Derive per-PC criticality: treat the top-height instructions as
+	// critical (a stand-in for the detector in this unit test).
+	var maxKey int64
+	for i := 0; i < in.Trace.Len(); i++ {
+		if k := oracle.Key(int64(i), 0); k > maxKey {
+			maxKey = k
+		}
+	}
+	for i := 0; i < in.Trace.Len(); i++ {
+		exact.Train(in.Trace.Insts[i].PC, oracle.Key(int64(i), 0) > maxKey/2)
+	}
+	sLoC, err := listsched.Run(in, cfg, listsched.LoCPriority{Exact: exact, Levels: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, in, cfg, sLoC)
+	ratio := float64(sLoC.Makespan) / float64(sOracle.Makespan)
+	if ratio > 1.25 {
+		t.Errorf("LoC-priority schedule %.3f× oracle — too far", ratio)
+	}
+}
+
+func TestBinaryPriorityKeys(t *testing.T) {
+	exact := predictor.NewExact()
+	for i := 0; i < 8; i++ {
+		exact.Train(0x10, i == 0) // exactly 1/8 critical
+		exact.Train(0x20, false)
+	}
+	b := listsched.BinaryPriority{Exact: exact}
+	if b.Key(0, 0x10) != 1 {
+		t.Error("1-in-8 critical PC should classify critical")
+	}
+	if b.Key(0, 0x20) != 0 {
+		t.Error("never-critical PC should classify non-critical")
+	}
+}
+
+func TestOracleSliceDominatesHeight(t *testing.T) {
+	// A mispredicted branch's slice must outrank even very tall chains.
+	insts := []isa.Inst{
+		{PC: 0x0, Op: isa.IntALU, Dst: 1, Src: [2]isa.Reg{isa.NoReg, isa.NoReg}},
+		{PC: 0x4, Op: isa.Branch, Src: [2]isa.Reg{1, isa.NoReg}, Dst: isa.NoReg},
+		{PC: 0x8, Op: isa.IntALU, Dst: 2, Src: [2]isa.Reg{isa.NoReg, isa.NoReg}},
+	}
+	tr := trace.Rebuild(insts)
+	in := listsched.Input{Trace: tr, Release: []int64{0, 0, 0},
+		Latency: []int64{1, 1, 1}, Mispredicted: []bool{false, true, false},
+		Complete: []int64{1, 2, 2}}
+	o := listsched.NewOracle(in)
+	if o.Key(0, 0) <= o.Key(2, 0) {
+		t.Error("slice producer must outrank off-slice instruction")
+	}
+	if o.Key(1, 0) <= o.Key(2, 0) {
+		t.Error("mispredicted branch must outrank off-slice instruction")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	in, _ := prepare(t, "vpr", 500)
+	if _, err := listsched.Run(in, listsched.Config{}, listsched.NewOracle(in)); err == nil {
+		t.Error("accepted zero config")
+	}
+	bad := in
+	bad.Latency = bad.Latency[:10]
+	if _, err := listsched.Run(bad, listsched.ConfigFor(machine.NewConfig(1)), listsched.NewOracle(in)); err == nil {
+		t.Error("accepted mis-sized input")
+	}
+}

@@ -1,0 +1,105 @@
+package listsched_test
+
+import (
+	"testing"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/listsched"
+	"clustersim/internal/machine"
+	"clustersim/internal/trace"
+)
+
+func TestReplicationNeverHurts(t *testing.T) {
+	for _, bench := range []string{"bzip2", "vpr", "gzip"} {
+		in, _ := prepare(t, bench, 5000)
+		pri := listsched.NewOracle(in)
+		for _, clusters := range []int{2, 4, 8} {
+			cfg := listsched.ConfigFor(machine.NewConfig(clusters))
+			plain, err := listsched.Run(in, cfg, pri)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repl, err := listsched.RunReplicated(in, cfg, pri)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Replication explores a superset of schedules; the greedy
+			// heuristic may differ slightly, but should never be much
+			// worse and usually at least matches.
+			if float64(repl.Makespan) > float64(plain.Makespan)*1.02 {
+				t.Errorf("%s/%d: replication lengthened the schedule: %d vs %d",
+					bench, clusters, repl.Makespan, plain.Makespan)
+			}
+		}
+	}
+}
+
+func TestReplicationLegality(t *testing.T) {
+	in, _ := prepare(t, "bzip2", 4000)
+	cfg := listsched.ConfigFor(machine.NewConfig(8))
+	s, err := listsched.RunReplicated(in, cfg, listsched.NewOracle(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := in.Trace
+	for i := 0; i < tr.Len(); i++ {
+		if s.Start[i] < in.Release[i] {
+			t.Fatalf("inst %d starts before release", i)
+		}
+		for _, p := range tr.Producers(i, nil) {
+			if s.Start[i] < s.AvailAt(int64(p), int(s.Cluster[i])) {
+				t.Fatalf("inst %d starts at %d before operand from %d available at %d",
+					i, s.Start[i], p, s.AvailAt(int64(p), int(s.Cluster[i])))
+			}
+		}
+	}
+	for _, r := range s.Replicas {
+		if tr.Insts[r.Seq].Op.IsMem() {
+			t.Fatalf("memory op %d was replicated", r.Seq)
+		}
+		if r.Complete != r.Start+in.Latency[r.Seq] {
+			t.Fatalf("replica of %d has wrong latency", r.Seq)
+		}
+		if int(r.Cluster) == int(s.Cluster[r.Seq]) {
+			t.Fatalf("replica of %d on its own cluster", r.Seq)
+		}
+	}
+}
+
+func TestReplicationHelpsConvergence(t *testing.T) {
+	// A hand-built convergence kernel on 1-wide clusters: two chains fed
+	// by one shared producer, converging at a dyadic join. Forwarding
+	// the shared producer costs fwd cycles; replicating it does not.
+	var insts []isa.Inst
+	for rep := 0; rep < 60; rep++ {
+		insts = append(insts,
+			isa.Inst{PC: 0x100, Op: isa.IntALU, Dst: 1, Src: [2]isa.Reg{1, isa.NoReg}},
+			isa.Inst{PC: 0x104, Op: isa.IntALU, Dst: 2, Src: [2]isa.Reg{1, isa.NoReg}},
+			isa.Inst{PC: 0x108, Op: isa.IntALU, Dst: 3, Src: [2]isa.Reg{1, isa.NoReg}},
+			isa.Inst{PC: 0x10c, Op: isa.IntALU, Dst: 4, Src: [2]isa.Reg{2, 3}},
+		)
+	}
+	insts[0].Src[0] = isa.NoReg
+	tr := trace.Rebuild(insts)
+	n := tr.Len()
+	in := listsched.Input{Trace: tr, Release: make([]int64, n),
+		Latency: make([]int64, n), Mispredicted: make([]bool, n),
+		Complete: make([]int64, n)}
+	for i := range in.Latency {
+		in.Latency[i] = 1
+	}
+	cfg := listsched.ConfigFor(machine.NewConfig(8))
+	pri := listsched.NewOracle(in)
+	plain, err := listsched.Run(in, cfg, pri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := listsched.RunReplicated(in, cfg, pri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Makespan > plain.Makespan {
+		t.Errorf("replication did not help convergence: %d vs %d",
+			repl.Makespan, plain.Makespan)
+	}
+}

@@ -1,0 +1,240 @@
+package machine_test
+
+import (
+	"testing"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/machine"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+func TestSingleInstructionTrace(t *testing.T) {
+	tr := buildTrace(mk(isa.IntALU, 1))
+	for _, clusters := range []int{1, 8} {
+		m, res := run(t, machine.NewConfig(clusters), tr, steer.DepBased{})
+		if res.Insts != 1 || res.Cycles <= 0 {
+			t.Fatalf("%d clusters: %+v", clusters, res)
+		}
+		ev := m.Events()[0]
+		if ev.Fetch != 0 || ev.Dispatch != 13 || ev.Issue != 14 {
+			t.Fatalf("single-instruction timing: %+v", ev)
+		}
+	}
+}
+
+func TestZeroForwardingLatency(t *testing.T) {
+	tr := buildTrace(
+		mk(isa.IntALU, 1),
+		mk(isa.IntALU, 2, 1),
+	)
+	cfg := machine.NewConfig(2)
+	cfg.FwdLatency = 0
+	m, _ := run(t, cfg, tr, &fixedPolicy{clusters: []int{0, 1}})
+	ev := m.Events()
+	if ev[1].Ready != ev[0].Complete {
+		t.Fatalf("zero-latency forwarding: ready %d, want %d", ev[1].Ready, ev[0].Complete)
+	}
+}
+
+func TestMaxForwardingLatency(t *testing.T) {
+	tr := buildTrace(
+		mk(isa.IntALU, 1),
+		mk(isa.IntALU, 2, 1),
+	)
+	cfg := machine.NewConfig(2)
+	cfg.FwdLatency = 4
+	m, _ := run(t, cfg, tr, &fixedPolicy{clusters: []int{0, 1}})
+	ev := m.Events()
+	if ev[1].Ready != ev[0].Complete+4 {
+		t.Fatalf("4-cycle forwarding: ready %d, want %d", ev[1].Ready, ev[0].Complete+4)
+	}
+}
+
+func TestEpochLongerThanTrace(t *testing.T) {
+	tr, _ := workload.Generate("vpr", 2000, 1)
+	fired := 0
+	m, err := machine.New(machine.NewConfig(2), tr, steer.DepBased{}, machine.Hooks{
+		EpochLen: 1 << 20,
+		OnEpoch:  func(from, to int64) { fired++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if fired != 0 {
+		t.Fatalf("epoch fired %d times with epoch longer than trace", fired)
+	}
+}
+
+func TestGroupSteeringInvariants(t *testing.T) {
+	tr, _ := workload.Generate("vortex", 6000, 1)
+	for _, clusters := range []int{2, 8} {
+		cfg := machine.NewConfig(clusters)
+		cfg.GroupSteering = true
+		m, err := machine.New(cfg, tr, steer.DepBased{}, machine.Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.Run()
+		checkInvariants(t, m, res)
+	}
+}
+
+func TestGroupSteeringNeverOverfillsWindows(t *testing.T) {
+	// The snapshot view may claim space that same-cycle dispatches have
+	// taken; the machine must still enforce real capacity (checked by
+	// checkInvariants' line sweep inside TestGroupSteeringInvariants),
+	// and group mode must not change results on a monolithic machine.
+	tr, _ := workload.Generate("gcc", 4000, 1)
+	cfgA := machine.NewConfig(1)
+	cfgB := machine.NewConfig(1)
+	cfgB.GroupSteering = true
+	_, a := run(t, cfgA, tr, steer.DepBased{})
+	_, b := run(t, cfgB, tr, steer.DepBased{})
+	if a.Cycles != b.Cycles {
+		t.Fatalf("group steering changed monolithic timing: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestValidationRejectsBadConfigs(t *testing.T) {
+	bad := []func(*machine.Config){
+		func(c *machine.Config) { c.Clusters = 0 },
+		func(c *machine.Config) { c.IssuePerCluster = 0 },
+		func(c *machine.Config) { c.FPPerCluster = 0 },
+		func(c *machine.Config) { c.WindowPerCluster = 0 },
+		func(c *machine.Config) { c.ROBSize = 4 },
+		func(c *machine.Config) { c.FetchWidth = 0 },
+		func(c *machine.Config) { c.PipelineDepth = 0 },
+		func(c *machine.Config) { c.FwdLatency = -1 },
+		func(c *machine.Config) { c.BypassPerCluster = -1 },
+		func(c *machine.Config) { c.GshareBits = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := machine.NewConfig(4)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: bad config validated", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewConfig(3) must panic (does not divide 8)")
+		}
+	}()
+	machine.NewConfig(3)
+}
+
+func TestCommitWidthOne(t *testing.T) {
+	insts := make([]isa.Inst, 32)
+	for i := range insts {
+		insts[i] = mk(isa.IntALU, isa.Reg(i%60+1))
+	}
+	cfg := machine.NewConfig(1)
+	cfg.CommitWidth = 1
+	m, res := run(t, cfg, buildTrace(insts...), steer.DepBased{})
+	perCycle := map[int64]int{}
+	for _, e := range m.Events() {
+		perCycle[e.Commit]++
+	}
+	for cyc, n := range perCycle {
+		if n > 1 {
+			t.Fatalf("cycle %d committed %d with width 1", cyc, n)
+		}
+	}
+	if res.Cycles < 32 {
+		t.Fatalf("32 instructions cannot commit in %d cycles at width 1", res.Cycles)
+	}
+}
+
+func TestSteerStatsAccounting(t *testing.T) {
+	tr, _ := workload.Generate("gzip", 5000, 1)
+	m, err := machine.New(machine.NewConfig(8), tr, &steer.StallOverSteer{}, machine.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	var total int64
+	for _, n := range res.SteerCounts {
+		total += n
+	}
+	if total != res.Insts {
+		t.Fatalf("steer counts sum to %d, want %d", total, res.Insts)
+	}
+	if res.SteerStallCycles < 0 || res.SteerStallCycles > res.Cycles {
+		t.Fatalf("steer stall cycles %d out of range", res.SteerStallCycles)
+	}
+	if res.SteerCounts[machine.SteerLocal] == 0 {
+		t.Error("dependence-based steering never collocated anything")
+	}
+}
+
+func TestSchedModeStrings(t *testing.T) {
+	for _, s := range []machine.SchedMode{machine.SchedAge, machine.SchedBinaryCritical, machine.SchedLoC} {
+		if s.String() == "" {
+			t.Error("empty SchedMode name")
+		}
+	}
+	if machine.SchedMode(99).String() == "" {
+		t.Error("unknown SchedMode must still render")
+	}
+	for _, d := range []machine.DispatchReason{machine.DispPipeline, machine.DispWidth, machine.DispROB, machine.DispWindow} {
+		if d.String() == "?" {
+			t.Error("unnamed dispatch reason")
+		}
+	}
+	for _, s := range []machine.SteerTag{machine.SteerNoPref, machine.SteerLocal,
+		machine.SteerLoadBalanced, machine.SteerDyadic, machine.SteerProactive} {
+		if s.String() == "?" {
+			t.Error("unnamed steer tag")
+		}
+	}
+}
+
+// probe exercises the remaining SteerView accessors from inside a policy.
+type probe struct {
+	steer.Base
+	sawReady, sawLeast bool
+}
+
+func (p *probe) Name() string { return "probe" }
+func (p *probe) Steer(v *machine.SteerView) machine.Decision {
+	if v.ReadyCount(0) >= 0 {
+		p.sawReady = true
+	}
+	c := v.LeastLoaded()
+	if c >= 0 && c < v.Clusters() {
+		p.sawLeast = true
+	}
+	_ = v.PredCritical(v.Inst().PC)
+	_ = v.LoCFrac(v.Inst().PC)
+	_ = v.LoCLevel(v.Inst().PC)
+	return machine.Decision{Cluster: c, Tag: machine.SteerNoPref}
+}
+
+func TestSteerViewAccessors(t *testing.T) {
+	tr, _ := workload.Generate("vpr", 2000, 1)
+	p := &probe{}
+	m, err := machine.New(machine.NewConfig(4), tr, p, machine.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if !p.sawReady || !p.sawLeast {
+		t.Fatal("accessors never exercised")
+	}
+	// Result convenience methods.
+	if res.CPI() <= 0 || res.IPC() <= 0 {
+		t.Fatal("CPI/IPC")
+	}
+	if res.GlobalValuesPerInst() < 0 {
+		t.Fatal("global values")
+	}
+	if res.MispredictRate() < 0 || res.MispredictRate() > 1 {
+		t.Fatal("mispredict rate")
+	}
+	empty := machine.Result{Insts: 1}
+	if empty.MispredictRate() != 0 {
+		t.Fatal("zero-branch mispredict rate must be 0")
+	}
+}

@@ -1,0 +1,140 @@
+package machine
+
+// Unset marks an event time that has not happened (yet).
+const Unset int64 = -1
+
+// DispatchReason records the last-arriving constraint on an instruction's
+// dispatch, used by the critical-path walker to pick the incoming edge of
+// a D node.
+type DispatchReason uint8
+
+const (
+	// DispPipeline: dispatched as soon as the front-end pipeline
+	// delivered it (fetch + depth). The walk continues at the fetch node.
+	DispPipeline DispatchReason = iota
+	// DispWidth: delayed by in-order dispatch bandwidth behind the
+	// previous instruction. Blocker is the previous instruction.
+	DispWidth
+	// DispROB: delayed by a full reorder buffer. Blocker is the
+	// instruction whose commit freed the slot.
+	DispROB
+	// DispWindow: delayed by a full scheduling window at the chosen
+	// cluster, or by a deliberate steering stall (stall-over-steer).
+	// Blocker is the instruction whose issue freed a slot.
+	DispWindow
+)
+
+func (d DispatchReason) String() string {
+	switch d {
+	case DispPipeline:
+		return "pipeline"
+	case DispWidth:
+		return "width"
+	case DispROB:
+		return "rob"
+	case DispWindow:
+		return "window"
+	}
+	return "?"
+}
+
+// FetchReason records what bounded an instruction's fetch cycle.
+type FetchReason uint8
+
+const (
+	// FetchBW: in-order fetch bandwidth (blocker: the instruction fetched
+	// FetchWidth earlier, or none at the start of the trace).
+	FetchBW FetchReason = iota
+	// FetchRedirect: the first instruction fetched after a branch
+	// misprediction resolved. Blocker is the mispredicted branch.
+	FetchRedirect
+)
+
+// SteerTag classifies the steering outcome of one instruction, used to
+// break down critical forwarding delay as in Figure 6(b).
+type SteerTag uint8
+
+const (
+	// SteerNoPref: no outstanding producer; placed by load balance.
+	SteerNoPref SteerTag = iota
+	// SteerLocal: collocated with (an) outstanding producer.
+	SteerLocal
+	// SteerLoadBalanced: wanted a producer's cluster but it was full, so
+	// the instruction was sent to the least-loaded cluster instead — the
+	// paper's "load-balance steering".
+	SteerLoadBalanced
+	// SteerDyadic: outstanding producers live in different clusters, so
+	// at least one operand must cross clusters no matter the choice.
+	SteerDyadic
+	// SteerProactive: deliberately pushed away from its producer by the
+	// proactive load-balancing policy (Section 6).
+	SteerProactive
+)
+
+func (s SteerTag) String() string {
+	switch s {
+	case SteerNoPref:
+		return "nopref"
+	case SteerLocal:
+		return "local"
+	case SteerLoadBalanced:
+		return "loadbal"
+	case SteerDyadic:
+		return "dyadic"
+	case SteerProactive:
+		return "proactive"
+	}
+	return "?"
+}
+
+// Event is the per-instruction record of what the pipeline did and why.
+// All cycle fields are Unset until the event happens.
+type Event struct {
+	Fetch    int64
+	Dispatch int64
+	Ready    int64 // all operands available at the instruction's cluster
+	Issue    int64
+	Complete int64
+	Commit   int64
+
+	// RemoteAvail is the cycle the result becomes usable in *other*
+	// clusters: Complete + FwdLatency, plus any wait for a global bypass
+	// broadcast slot when bandwidth is limited.
+	RemoteAvail int64
+
+	// CritProducer is the producer whose arrival determined Ready
+	// (None/-1 when readiness was bounded by dispatch instead); if
+	// CritProducerRemote, the last-arriving operand crossed clusters and
+	// paid the forwarding latency.
+	CritProducer       int64
+	CritProducerRemote bool
+
+	DispatchBlocker int64
+	FetchBlocker    int64
+
+	Cluster        int16
+	DispatchReason DispatchReason
+	FetchReason    FetchReason
+	SteerTag       SteerTag
+
+	Mispredicted bool // branch mispredicted by gshare
+	L1Miss       bool // load missed in the L1
+	PredCritical bool // binary criticality prediction sampled at dispatch
+	LoCLevel     uint8
+
+	// globalDone dedups global-value counting (set once the produced
+	// value has been charged as an inter-cluster communication).
+	globalDone bool
+}
+
+func (e *Event) globalCounted() bool { return e.globalDone }
+func (e *Event) markGlobalCounted()  { e.globalDone = true }
+
+// reset returns the event to its pre-simulation state.
+func (e *Event) reset() {
+	*e = Event{
+		Fetch: Unset, Dispatch: Unset, Ready: Unset, Issue: Unset,
+		Complete: Unset, Commit: Unset, RemoteAvail: Unset,
+		CritProducer: Unset, DispatchBlocker: Unset, FetchBlocker: Unset,
+	}
+}

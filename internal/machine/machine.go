@@ -1,0 +1,699 @@
+package machine
+
+import (
+	"fmt"
+	"slices"
+
+	"clustersim/internal/bpred"
+	"clustersim/internal/cache"
+	"clustersim/internal/isa"
+	"clustersim/internal/predictor"
+	"clustersim/internal/trace"
+)
+
+// MaxILPBucket caps the available-ILP histogram (Figure 15's x axis).
+const MaxILPBucket = 24
+
+// DefaultEpochLen is how many retirements elapse between criticality-
+// detector epochs (Hooks.OnEpoch invocations).
+const DefaultEpochLen = 4096
+
+// Hooks wires optional predictors and the online criticality detector
+// into a machine. All fields may be nil/zero.
+type Hooks struct {
+	// Binary is the Fields binary criticality predictor consulted by
+	// focused steering/scheduling and trained by the detector.
+	Binary *predictor.Binary
+	// LoC is the likelihood-of-criticality predictor (Sections 4–6).
+	LoC *predictor.LoC
+	// EpochLen overrides DefaultEpochLen when positive.
+	EpochLen int64
+	// OnEpoch, if set, is called after every EpochLen retirements with
+	// the retired range [from, to); the online detector hangs here.
+	OnEpoch func(from, to int64)
+	// OnCommitInst, if set, is called for every retirement, in order.
+	// The token-passing detector hangs here.
+	OnCommitInst func(seq int64)
+}
+
+// Machine is one simulated processor configuration bound to a trace and a
+// steering policy. A Machine is single-use state plus a Run method; call
+// Run once (it resets state itself).
+type Machine struct {
+	cfg    Config
+	tr     *trace.Trace
+	pol    SteerPolicy
+	bp     *bpred.Gshare
+	l1     *cache.Cache
+	binary *predictor.Binary
+	loc    *predictor.LoC
+
+	epochLen     int64
+	onEpoch      func(from, to int64)
+	onCommitInst func(seq int64)
+
+	events []Event
+
+	// Global bypass broadcast slots (BypassPerCluster > 0): per-cluster
+	// ring of per-cycle counts, stamped lazily.
+	bcastStamp [][]int64
+	bcastCount [][]int16
+
+	// Pipeline state.
+	cycle          int64
+	nextFetch      int64
+	fetchResume    int64
+	redirectFrom   int64 // branch whose resolution restarted fetch; tags the next fetch
+	blockingBranch int64 // unresolved mispredicted branch gating fetch
+	dispHead       int64 // next instruction to dispatch (fetched, in-order)
+	commitIdx      int64 // next instruction to commit
+	dispatched     int64 // count dispatched (ROB occupancy = dispatched - commitIdx)
+	clusters       []clusterState
+	lastIssuedFrom []int64 // last instruction to free a slot per cluster
+
+	// Why the head of the dispatch queue failed to dispatch last time.
+	havePending    bool
+	pendingReason  DispatchReason
+	pendingBlocker int64
+
+	// Statistics.
+	mispredicts      int64
+	branches         int64
+	globalValues     int64
+	steerCounts      [5]int64
+	steerStallCycles int64
+	ilpAvail         [MaxILPBucket + 1]int64
+	ilpIssued        [MaxILPBucket + 1]int64
+
+	// Scratch buffers.
+	candBuf  []candidate
+	prodBuf  []int32
+	viewBuf  SteerView
+	issueBuf []int64
+	occSnap  []int // start-of-cycle occupancies (GroupSteering)
+	budgets  []issueBudget
+
+	// readyCount[c] is the number of data-ready-but-unissued entries in
+	// cluster c's window as of this cycle's issue phase. Steering runs
+	// after issue within the cycle, so policies may consult it as a
+	// fresh view of readiness (Section 8's "global and accurate view of
+	// instruction readiness").
+	readyCount []int
+}
+
+type clusterState struct {
+	entries []winEntry
+}
+
+type winEntry struct {
+	seq  int64
+	prio uint16
+	// Cached readiness: Unset until every producer has issued (at which
+	// point the ready cycle, binding producer and remoteness are fixed
+	// forever, so they need computing only once).
+	ready  int64
+	crit   int64
+	remote bool
+}
+
+type issueBudget struct{ width, integer, fp, mem int }
+
+type candidate struct {
+	seq     int64
+	cluster int
+	prio    uint16
+	ready   int64
+	crit    int64
+	remote  bool
+}
+
+// New builds a machine for cfg over tr using the given steering policy.
+func New(cfg Config, tr *trace.Trace, pol SteerPolicy, hooks Hooks) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("machine: empty trace")
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("machine: nil steering policy")
+	}
+	m := &Machine{
+		cfg:          cfg,
+		tr:           tr,
+		pol:          pol,
+		bp:           bpred.NewGshare(cfg.GshareBits),
+		l1:           cache.New(cfg.L1),
+		binary:       hooks.Binary,
+		loc:          hooks.LoC,
+		epochLen:     hooks.EpochLen,
+		onEpoch:      hooks.OnEpoch,
+		onCommitInst: hooks.OnCommitInst,
+		events:       make([]Event, tr.Len()),
+	}
+	if m.epochLen <= 0 {
+		m.epochLen = DefaultEpochLen
+	}
+	m.clusters = make([]clusterState, cfg.Clusters)
+	m.lastIssuedFrom = make([]int64, cfg.Clusters)
+	m.occSnap = make([]int, cfg.Clusters)
+	m.readyCount = make([]int, cfg.Clusters)
+	if cfg.BypassPerCluster > 0 {
+		m.bcastStamp = make([][]int64, cfg.Clusters)
+		m.bcastCount = make([][]int16, cfg.Clusters)
+		for c := range m.bcastStamp {
+			m.bcastStamp[c] = make([]int64, bcastRing)
+			m.bcastCount[c] = make([]int16, bcastRing)
+		}
+	}
+	return m, nil
+}
+
+// bcastRing sizes the broadcast-slot ring; broadcasts are scheduled at
+// most a few cycles past completion, far below this bound.
+const bcastRing = 4096
+
+// broadcastSlot reserves the earliest global-bypass slot at or after
+// cycle t for a value produced in cluster c, and returns that cycle.
+func (m *Machine) broadcastSlot(c int, t int64) int64 {
+	limit := int16(m.cfg.BypassPerCluster)
+	for {
+		i := t % bcastRing
+		if m.bcastStamp[c][i] != t {
+			m.bcastStamp[c][i] = t
+			m.bcastCount[c][i] = 0
+		}
+		if m.bcastCount[c][i] < limit {
+			m.bcastCount[c][i]++
+			return t
+		}
+		t++
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Trace returns the trace the machine executes.
+func (m *Machine) Trace() *trace.Trace { return m.tr }
+
+// Events returns the per-instruction event records. Valid after Run.
+func (m *Machine) Events() []Event { return m.events }
+
+// Result summarizes one run.
+type Result struct {
+	ConfigName  string
+	PolicyName  string
+	Cycles      int64
+	Insts       int64
+	Branches    int64
+	Mispredicts int64
+	L1Accesses  uint64
+	L1MissRate  float64
+	// GlobalValues counts produced values consumed by at least one other
+	// cluster (Section 2.1 reports these per instruction).
+	GlobalValues int64
+	// SteerCounts tallies dispatches by steering outcome, indexed by
+	// SteerTag (nopref/local/loadbal/dyadic/proactive).
+	SteerCounts [5]int64
+	// SteerStallCycles counts cycles on which dispatch was blocked at the
+	// steering stage (window full or a deliberate stall-over-steer hold).
+	SteerStallCycles int64
+	// ILPAvail[k] counts cycles on which k instructions were ready
+	// across all clusters; ILPIssued[k] sums instructions issued on
+	// those cycles (Figure 15).
+	ILPAvail  [MaxILPBucket + 1]int64
+	ILPIssued [MaxILPBucket + 1]int64
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 { return float64(r.Cycles) / float64(r.Insts) }
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 { return float64(r.Insts) / float64(r.Cycles) }
+
+// GlobalValuesPerInst returns inter-cluster values per instruction.
+func (r Result) GlobalValuesPerInst() float64 {
+	return float64(r.GlobalValues) / float64(r.Insts)
+}
+
+// MispredictRate returns the fraction of branches gshare mispredicted.
+func (r Result) MispredictRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// Run simulates the whole trace and returns the run summary.
+func (m *Machine) Run() Result {
+	m.reset()
+	n := int64(m.tr.Len())
+	for m.commitIdx < n {
+		m.commit()
+		m.issue()
+		m.dispatch()
+		m.fetch()
+		m.cycle++
+	}
+	missRate, accesses := m.l1.MissRate()
+	return Result{
+		ConfigName:       m.cfg.Name(),
+		PolicyName:       m.pol.Name(),
+		Cycles:           m.cycle,
+		Insts:            n,
+		Branches:         m.branches,
+		Mispredicts:      m.mispredicts,
+		L1Accesses:       accesses,
+		L1MissRate:       missRate,
+		GlobalValues:     m.globalValues,
+		SteerCounts:      m.steerCounts,
+		SteerStallCycles: m.steerStallCycles,
+		ILPAvail:         m.ilpAvail,
+		ILPIssued:        m.ilpIssued,
+	}
+}
+
+func (m *Machine) reset() {
+	for i := range m.events {
+		m.events[i].reset()
+	}
+	m.cycle = 0
+	m.nextFetch = 0
+	m.fetchResume = 0
+	m.redirectFrom = Unset
+	m.blockingBranch = Unset
+	m.dispHead = 0
+	m.commitIdx = 0
+	m.dispatched = 0
+	for c := range m.clusters {
+		m.clusters[c].entries = m.clusters[c].entries[:0]
+		m.lastIssuedFrom[c] = Unset
+	}
+	m.havePending = false
+	m.mispredicts = 0
+	m.branches = 0
+	m.globalValues = 0
+	m.steerCounts = [5]int64{}
+	m.steerStallCycles = 0
+	m.ilpAvail = [MaxILPBucket + 1]int64{}
+	m.ilpIssued = [MaxILPBucket + 1]int64{}
+	m.bp.Reset()
+	m.l1.Reset()
+	m.pol.Reset()
+}
+
+// commit retires completed instructions in order, up to CommitWidth per
+// cycle, and fires detector epochs.
+func (m *Machine) commit() {
+	n := int64(m.tr.Len())
+	for w := 0; w < m.cfg.CommitWidth && m.commitIdx < n; w++ {
+		ev := &m.events[m.commitIdx]
+		if ev.Complete == Unset || ev.Complete >= m.cycle {
+			break
+		}
+		ev.Commit = m.cycle
+		rv := RetireView{m: m, seq: m.commitIdx}
+		m.pol.OnCommit(m.commitIdx, &rv)
+		if m.onCommitInst != nil {
+			m.onCommitInst(m.commitIdx)
+		}
+		m.commitIdx++
+		if m.onEpoch != nil && m.commitIdx%m.epochLen == 0 {
+			m.onEpoch(m.commitIdx-m.epochLen, m.commitIdx)
+		}
+	}
+}
+
+// readyAt computes the cycle at which window entry seq has all operands
+// available at its cluster, or Unset if some producer has not issued.
+// It also reports the last-arriving producer and whether that operand
+// crossed clusters.
+func (m *Machine) readyAt(seq int64) (ready, crit int64, remote bool) {
+	ev := &m.events[seq]
+	ready = ev.Dispatch + 1
+	crit = Unset
+	m.prodBuf = m.tr.Producers(int(seq), m.prodBuf[:0])
+	for _, p32 := range m.prodBuf {
+		p := int64(p32)
+		pev := &m.events[p]
+		if pev.Complete == Unset {
+			return Unset, Unset, false
+		}
+		avail := pev.Complete
+		rem := pev.Cluster != ev.Cluster
+		if rem {
+			avail = pev.RemoteAvail
+		}
+		if avail > ready || (avail == ready && crit == Unset) {
+			ready = avail
+			crit = p
+			remote = rem
+		}
+	}
+	return ready, crit, remote
+}
+
+// issue selects and issues ready instructions at every cluster, subject
+// to per-cluster issue width and functional-unit mix.
+func (m *Machine) issue() {
+	m.candBuf = m.candBuf[:0]
+	for c := range m.clusters {
+		m.readyCount[c] = 0
+		entries := m.clusters[c].entries
+		for i := range entries {
+			e := &entries[i]
+			if e.ready == Unset {
+				ready, crit, remote := m.readyAt(e.seq)
+				if ready == Unset {
+					continue
+				}
+				e.ready, e.crit, e.remote = ready, crit, remote
+			}
+			if e.ready > m.cycle {
+				continue
+			}
+			m.readyCount[c]++
+			m.candBuf = append(m.candBuf, candidate{
+				seq: e.seq, cluster: c, prio: e.prio,
+				ready: e.ready, crit: e.crit, remote: e.remote,
+			})
+		}
+	}
+	avail := len(m.candBuf)
+	if avail == 0 {
+		if m.dispatched > m.commitIdx || m.dispHead < int64(m.tr.Len()) {
+			m.ilpAvail[0]++
+		}
+		return
+	}
+	slices.SortFunc(m.candBuf, func(a, b candidate) int {
+		if a.prio != b.prio {
+			return int(a.prio) - int(b.prio)
+		}
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
+
+	if m.budgets == nil {
+		m.budgets = make([]issueBudget, m.cfg.Clusters)
+	}
+	budgets := m.budgets
+	for c := range budgets {
+		budgets[c] = issueBudget{m.cfg.IssuePerCluster, m.cfg.IntPerCluster, m.cfg.FPPerCluster, m.cfg.MemPerCluster}
+	}
+
+	m.issueBuf = m.issueBuf[:0]
+	issued := 0
+	for i := range m.candBuf {
+		cd := &m.candBuf[i]
+		b := &budgets[cd.cluster]
+		if b.width == 0 {
+			continue
+		}
+		in := &m.tr.Insts[cd.seq]
+		switch in.Op.FU() {
+		case isa.FUInt:
+			if b.integer == 0 {
+				continue
+			}
+			b.integer--
+		case isa.FUFP:
+			if b.fp == 0 {
+				continue
+			}
+			b.fp--
+		case isa.FUMem:
+			if b.mem == 0 {
+				continue
+			}
+			b.mem--
+		}
+		b.width--
+		m.issueOne(cd)
+		m.issueBuf = append(m.issueBuf, cd.seq)
+		issued++
+	}
+	// Remove issued entries from their windows.
+	if issued > 0 {
+		for c := range m.clusters {
+			entries := m.clusters[c].entries
+			kept := entries[:0]
+			for _, e := range entries {
+				if m.events[e.seq].Issue == Unset {
+					kept = append(kept, e)
+				}
+			}
+			m.clusters[c].entries = kept
+		}
+	}
+	bucket := avail
+	if bucket > MaxILPBucket {
+		bucket = MaxILPBucket
+	}
+	m.ilpAvail[bucket]++
+	m.ilpIssued[bucket] += int64(issued)
+}
+
+// issueOne executes one instruction: fixes its timestamps, accesses the
+// cache for memory operations, resolves blocking branches, and counts
+// global values.
+func (m *Machine) issueOne(cd *candidate) {
+	seq := cd.seq
+	ev := &m.events[seq]
+	in := &m.tr.Insts[seq]
+
+	ev.Ready = cd.ready
+	ev.Issue = m.cycle
+	ev.CritProducer = cd.crit
+	ev.CritProducerRemote = cd.remote
+
+	lat := int64(in.Op.Latency())
+	if in.Op == isa.Load {
+		accessLat, hit := m.l1.Access(in.Addr)
+		if !hit {
+			ev.L1Miss = true
+			lat += int64(accessLat - m.cfg.L1.HitCycles) // the L2 penalty
+		}
+	} else if in.Op == isa.Store {
+		m.l1.Access(in.Addr) // write-allocate; latency hidden by commit
+	}
+	ev.Complete = m.cycle + lat
+	// The value becomes visible to other clusters after the forwarding
+	// latency — waiting for a broadcast slot first if the global bypass
+	// network's bandwidth is limited.
+	if m.cfg.Clusters > 1 && (in.HasDst() || in.Op == isa.Store) {
+		bcast := ev.Complete
+		if m.cfg.BypassPerCluster > 0 {
+			bcast = m.broadcastSlot(cd.cluster, bcast)
+		}
+		ev.RemoteAvail = bcast + int64(m.cfg.FwdLatency)
+	} else {
+		ev.RemoteAvail = ev.Complete + int64(m.cfg.FwdLatency)
+	}
+
+	// Count global values: a producer's value becomes "global" the first
+	// time any consumer in another cluster reads it.
+	m.prodBuf = m.tr.Producers(int(seq), m.prodBuf[:0])
+	for _, p32 := range m.prodBuf {
+		pev := &m.events[p32]
+		if pev.Cluster != ev.Cluster && !pev.globalCounted() {
+			pev.markGlobalCounted()
+			m.globalValues++
+		}
+	}
+
+	if seq == m.blockingBranch {
+		m.fetchResume = ev.Complete + 1
+		m.redirectFrom = seq
+		m.blockingBranch = Unset
+	}
+	m.lastIssuedFrom[cd.cluster] = seq
+	m.pol.OnIssue(seq, cd.cluster)
+}
+
+// hasSpace reports real (not snapshot) window availability.
+func (m *Machine) hasSpace(c int) bool {
+	return len(m.clusters[c].entries) < m.cfg.WindowPerCluster
+}
+
+// dispatch steers fetched instructions, in order, into cluster windows.
+func (m *Machine) dispatch() {
+	n := int64(m.tr.Len())
+	if m.cfg.GroupSteering {
+		// The whole dispatch group steers against start-of-cycle state
+		// (Section 8: a realistic steering circuit cannot serially
+		// account for intra-cycle placements).
+		for c := range m.clusters {
+			m.occSnap[c] = len(m.clusters[c].entries)
+		}
+	}
+	for w := 0; w < m.cfg.DispatchWidth && m.dispHead < n; w++ {
+		seq := m.dispHead
+		ev := &m.events[seq]
+		if ev.Fetch == Unset || ev.Fetch+int64(m.cfg.PipelineDepth) > m.cycle {
+			break // not yet delivered by the front end
+		}
+		if m.dispatched-m.commitIdx >= int64(m.cfg.ROBSize) {
+			m.setPending(DispROB, seq-int64(m.cfg.ROBSize))
+			break
+		}
+
+		view := &m.viewBuf
+		view.m = m
+		view.seq = seq
+		view.snapOcc = nil
+		if m.cfg.GroupSteering {
+			view.snapOcc = m.occSnap
+		}
+		view.producers = m.gatherProducers(seq, view.producers[:0])
+		dec := m.pol.Steer(view)
+		if dec.Stall || !m.hasSpace(dec.Cluster) {
+			blocker := Unset
+			if dec.Cluster >= 0 && dec.Cluster < m.cfg.Clusters {
+				blocker = m.lastIssuedFrom[dec.Cluster]
+			}
+			m.setPending(DispWindow, blocker)
+			m.steerStallCycles++
+			break
+		}
+
+		// Dispatch for real.
+		ev.Dispatch = m.cycle
+		ev.Cluster = int16(dec.Cluster)
+		ev.SteerTag = dec.Tag
+		if int(dec.Tag) < len(m.steerCounts) {
+			m.steerCounts[dec.Tag]++
+		}
+		pc := m.tr.Insts[seq].PC
+		if m.binary != nil {
+			ev.PredCritical = m.binary.Predict(pc)
+		}
+		var prio uint16
+		switch m.cfg.SchedMode {
+		case SchedAge:
+			prio = 0
+		case SchedBinaryCritical:
+			if !ev.PredCritical {
+				prio = 1
+			}
+		case SchedLoC:
+			lvl := 0
+			if m.loc != nil {
+				lvl = m.loc.Level(pc)
+			}
+			ev.LoCLevel = uint8(lvl)
+			prio = uint16(predictor.LoCLevels - 1 - lvl)
+		}
+		if m.loc != nil && m.cfg.SchedMode != SchedLoC {
+			ev.LoCLevel = uint8(m.loc.Level(pc))
+		}
+
+		switch {
+		case ev.Dispatch == ev.Fetch+int64(m.cfg.PipelineDepth):
+			ev.DispatchReason = DispPipeline
+			ev.DispatchBlocker = Unset
+		case m.havePending:
+			ev.DispatchReason = m.pendingReason
+			ev.DispatchBlocker = m.pendingBlocker
+		default:
+			ev.DispatchReason = DispWidth
+			ev.DispatchBlocker = seq - 1
+		}
+		m.havePending = false
+
+		m.clusters[dec.Cluster].entries = append(m.clusters[dec.Cluster].entries,
+			winEntry{seq: seq, prio: prio, ready: Unset, crit: Unset})
+		m.dispHead++
+		m.dispatched++
+	}
+}
+
+// setPending remembers why the dispatch head is blocked, for attribution
+// when it finally dispatches.
+func (m *Machine) setPending(reason DispatchReason, blocker int64) {
+	m.havePending = true
+	m.pendingReason = reason
+	m.pendingBlocker = blocker
+}
+
+// gatherProducers builds the steering view's producer list: one entry per
+// distinct producer of the dispatching instruction's operands.
+func (m *Machine) gatherProducers(seq int64, dst []ProducerInfo) []ProducerInfo {
+	m.prodBuf = m.tr.Producers(int(seq), m.prodBuf[:0])
+	for _, p32 := range m.prodBuf {
+		p := int64(p32)
+		dup := false
+		for i := range dst {
+			if dst[i].Seq == p {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		pev := &m.events[p]
+		outstanding := pev.Complete == Unset || pev.RemoteAvail > m.cycle
+		cluster := int(pev.Cluster)
+		if m.cfg.GroupSteering && pev.Dispatch == m.cycle {
+			// Steered earlier this very cycle: a group-steering circuit
+			// has not seen its placement yet.
+			cluster = -1
+		}
+		dst = append(dst, ProducerInfo{
+			Seq:         p,
+			PC:          m.tr.Insts[p].PC,
+			Cluster:     cluster,
+			Outstanding: outstanding,
+		})
+	}
+	return dst
+}
+
+// fetch advances the front end: up to FetchWidth instructions per cycle,
+// blocking at gshare mispredictions until the branch resolves.
+func (m *Machine) fetch() {
+	n := int64(m.tr.Len())
+	if m.nextFetch >= n || m.cycle < m.fetchResume {
+		return
+	}
+	// Every instruction in the first fetch cycle after a redirect is
+	// gated by the misprediction, not by fetch bandwidth; tag the whole
+	// batch so critical-path attribution charges the branch.
+	redirect := m.redirectFrom
+	m.redirectFrom = Unset
+	for w := 0; w < m.cfg.FetchWidth && m.nextFetch < n; w++ {
+		seq := m.nextFetch
+		ev := &m.events[seq]
+		ev.Fetch = m.cycle
+		if redirect != Unset {
+			ev.FetchReason = FetchRedirect
+			ev.FetchBlocker = redirect
+		} else {
+			ev.FetchReason = FetchBW
+			if seq >= int64(m.cfg.FetchWidth) {
+				ev.FetchBlocker = seq - int64(m.cfg.FetchWidth)
+			} else {
+				ev.FetchBlocker = Unset
+			}
+		}
+		m.nextFetch++
+		in := &m.tr.Insts[seq]
+		if in.Op.IsBranch() {
+			m.branches++
+			if correct := m.bp.Update(in.PC, in.Taken); !correct {
+				ev.Mispredicted = true
+				m.mispredicts++
+				m.blockingBranch = seq
+				m.fetchResume = int64(1) << 62 // blocked until resolution
+				return
+			}
+		}
+	}
+}

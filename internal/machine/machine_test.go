@@ -1,0 +1,547 @@
+package machine_test
+
+import (
+	"testing"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+	"clustersim/internal/xrand"
+)
+
+// fixedPolicy steers instruction seq to cluster[seq % len]. Used to force
+// specific placements in timing tests.
+type fixedPolicy struct {
+	steer.Base
+	clusters []int
+}
+
+func (f *fixedPolicy) Name() string { return "fixed" }
+
+func (f *fixedPolicy) Steer(v *machine.SteerView) machine.Decision {
+	c := f.clusters[int(v.Seq())%len(f.clusters)]
+	return machine.Decision{Cluster: c, Tag: machine.SteerNoPref}
+}
+
+func mk(op isa.Op, dst isa.Reg, srcs ...isa.Reg) isa.Inst {
+	in := isa.Inst{Op: op, Dst: dst, Src: [2]isa.Reg{isa.NoReg, isa.NoReg}}
+	copy(in.Src[:], srcs)
+	return in
+}
+
+func buildTrace(insts ...isa.Inst) *trace.Trace {
+	for i := range insts {
+		if insts[i].PC == 0 {
+			insts[i].PC = uint64(0x1000 + 4*i)
+		}
+	}
+	return trace.Rebuild(insts)
+}
+
+func run(t *testing.T, cfg machine.Config, tr *trace.Trace, pol machine.SteerPolicy) (*machine.Machine, machine.Result) {
+	t.Helper()
+	m, err := machine.New(cfg, tr, pol, machine.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, m.Run()
+}
+
+func TestDependentChainTiming(t *testing.T) {
+	// A 4-deep dependent IntALU chain on the monolithic machine:
+	// fetch 0, dispatch 13, first issue 14, then back-to-back.
+	tr := buildTrace(
+		mk(isa.IntALU, 1),
+		mk(isa.IntALU, 2, 1),
+		mk(isa.IntALU, 3, 2),
+		mk(isa.IntALU, 4, 3),
+	)
+	m, res := run(t, machine.NewConfig(1), tr, steer.DepBased{})
+	ev := m.Events()
+	for i := range ev {
+		if ev[i].Fetch != 0 {
+			t.Errorf("inst %d fetch = %d, want 0", i, ev[i].Fetch)
+		}
+		if ev[i].Dispatch != 13 {
+			t.Errorf("inst %d dispatch = %d, want 13", i, ev[i].Dispatch)
+		}
+		wantIssue := int64(14 + i)
+		if ev[i].Issue != wantIssue {
+			t.Errorf("inst %d issue = %d, want %d", i, ev[i].Issue, wantIssue)
+		}
+		if ev[i].Complete != wantIssue+1 {
+			t.Errorf("inst %d complete = %d, want %d", i, ev[i].Complete, wantIssue+1)
+		}
+	}
+	if res.Cycles != ev[3].Commit+1 {
+		t.Errorf("cycles = %d, want last commit + 1 = %d", res.Cycles, ev[3].Commit+1)
+	}
+}
+
+func TestIndependentInstsIssueTogether(t *testing.T) {
+	insts := make([]isa.Inst, 8)
+	for i := range insts {
+		insts[i] = mk(isa.IntALU, isa.Reg(i+1))
+	}
+	m, _ := run(t, machine.NewConfig(1), buildTrace(insts...), steer.DepBased{})
+	for i, e := range m.Events() {
+		if e.Issue != 14 {
+			t.Errorf("inst %d issue = %d, want 14 (full-width issue)", i, e.Issue)
+		}
+	}
+}
+
+func TestIssueWidthRespected(t *testing.T) {
+	// 16 independent instructions on the monolithic machine: 8 issue at
+	// cycle 14, 8 at 15. (All fetched at cycle 0..1, dispatched 13..14.)
+	insts := make([]isa.Inst, 16)
+	for i := range insts {
+		insts[i] = mk(isa.IntALU, isa.Reg(i%8+1))
+	}
+	// Make them independent: distinct dsts via two banks.
+	for i := range insts {
+		insts[i].Dst = isa.Reg(i + 1)
+		insts[i].Src = [2]isa.Reg{isa.NoReg, isa.NoReg}
+	}
+	m, _ := run(t, machine.NewConfig(1), buildTrace(insts...), steer.DepBased{})
+	counts := map[int64]int{}
+	for _, e := range m.Events() {
+		counts[e.Issue]++
+	}
+	for cyc, n := range counts {
+		if n > 8 {
+			t.Errorf("cycle %d issued %d > 8", cyc, n)
+		}
+	}
+}
+
+func TestFPAndMemPortLimits(t *testing.T) {
+	// Monolithic: at most 4 FP and 4 mem per cycle even with width 8.
+	var insts []isa.Inst
+	for i := 0; i < 8; i++ {
+		insts = append(insts, mk(isa.FPAdd, isa.Reg(i+1)))
+	}
+	for i := 0; i < 8; i++ {
+		ld := mk(isa.Load, isa.Reg(i+20))
+		ld.Addr = uint64(i) * 64
+		insts = append(insts, ld)
+	}
+	m, _ := run(t, machine.NewConfig(1), buildTrace(insts...), steer.DepBased{})
+	fp := map[int64]int{}
+	mem := map[int64]int{}
+	for i, e := range m.Events() {
+		if i < 8 {
+			fp[e.Issue]++
+		} else {
+			mem[e.Issue]++
+		}
+	}
+	for cyc, n := range fp {
+		if n > 4 {
+			t.Errorf("cycle %d issued %d FP > 4", cyc, n)
+		}
+	}
+	for cyc, n := range mem {
+		if n > 4 {
+			t.Errorf("cycle %d issued %d mem > 4", cyc, n)
+		}
+	}
+}
+
+func TestCrossClusterForwarding(t *testing.T) {
+	// Producer in cluster 0, consumer in cluster 1: consumer's ready is
+	// producer complete + 2 (FwdLatency).
+	tr := buildTrace(
+		mk(isa.IntALU, 1),
+		mk(isa.IntALU, 2, 1),
+	)
+	cfg := machine.NewConfig(2)
+	m, _ := run(t, cfg, tr, &fixedPolicy{clusters: []int{0, 1}})
+	ev := m.Events()
+	wantReady := ev[0].Complete + int64(cfg.FwdLatency)
+	if ev[1].Ready != wantReady {
+		t.Errorf("consumer ready = %d, want %d", ev[1].Ready, wantReady)
+	}
+	if !ev[1].CritProducerRemote || ev[1].CritProducer != 0 {
+		t.Errorf("consumer crit producer = %d remote=%v, want 0/remote",
+			ev[1].CritProducer, ev[1].CritProducerRemote)
+	}
+}
+
+func TestSameClusterNoForwarding(t *testing.T) {
+	tr := buildTrace(
+		mk(isa.IntALU, 1),
+		mk(isa.IntALU, 2, 1),
+	)
+	m, _ := run(t, machine.NewConfig(2), tr, &fixedPolicy{clusters: []int{0, 0}})
+	ev := m.Events()
+	if ev[1].Ready != ev[0].Complete {
+		t.Errorf("local consumer ready = %d, want producer complete %d",
+			ev[1].Ready, ev[0].Complete)
+	}
+	if ev[1].CritProducerRemote {
+		t.Error("local operand marked remote")
+	}
+}
+
+func TestLoadHitAndMissLatency(t *testing.T) {
+	ld1 := mk(isa.Load, 1)
+	ld1.Addr = 0x1000
+	ld2 := mk(isa.Load, 2)
+	ld2.Addr = 0x1000 // same line: hits after ld1's fill
+	tr := buildTrace(ld1, ld2)
+	m, _ := run(t, machine.NewConfig(1), tr, steer.DepBased{})
+	ev := m.Events()
+	if got := ev[0].Complete - ev[0].Issue; got != 23 { // 3 + 20 L2
+		t.Errorf("missing load latency = %d, want 23", got)
+	}
+	if !ev[0].L1Miss {
+		t.Error("first load not marked L1 miss")
+	}
+	if got := ev[1].Complete - ev[1].Issue; got != 3 {
+		t.Errorf("hitting load latency = %d, want 3", got)
+	}
+	if ev[1].L1Miss {
+		t.Error("second load marked L1 miss")
+	}
+}
+
+func TestStoreToLoadDependence(t *testing.T) {
+	st := mk(isa.Store, isa.NoReg, 1)
+	st.Addr = 0x2000
+	ld := mk(isa.Load, 2)
+	ld.Addr = 0x2000
+	tr := buildTrace(mk(isa.IntALU, 1), st, ld)
+	m, _ := run(t, machine.NewConfig(1), tr, steer.DepBased{})
+	ev := m.Events()
+	if ev[2].Issue < ev[1].Complete {
+		t.Errorf("load issued at %d before forwarding store completed at %d",
+			ev[2].Issue, ev[1].Complete)
+	}
+}
+
+func TestMispredictBlocksFetch(t *testing.T) {
+	// An always-random branch will mispredict sometimes; verify that the
+	// instruction after a mispredicted branch is fetched only after the
+	// branch resolves.
+	var insts []isa.Inst
+	r := xrand.New(3)
+	for i := 0; i < 400; i++ {
+		insts = append(insts, mk(isa.IntALU, 1, 1))
+		br := mk(isa.Branch, isa.NoReg, 1)
+		br.PC = 0x5000 // one static hard branch
+		br.Taken = r.Bool(0.5)
+		insts = append(insts, br)
+	}
+	m, res := run(t, machine.NewConfig(1), buildTrace(insts...), steer.DepBased{})
+	if res.Mispredicts == 0 {
+		t.Fatal("expected some mispredictions")
+	}
+	ev := m.Events()
+	checked := 0
+	for i := 0; i < len(ev)-1; i++ {
+		if ev[i].Mispredicted {
+			if ev[i+1].Fetch != ev[i].Complete+1 {
+				t.Fatalf("inst after mispredicted branch %d fetched at %d, want %d",
+					i, ev[i+1].Fetch, ev[i].Complete+1)
+			}
+			if ev[i+1].FetchReason != machine.FetchRedirect || ev[i+1].FetchBlocker != int64(i) {
+				t.Fatalf("redirect attribution wrong at inst %d", i+1)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no mispredicted branches found in events")
+	}
+}
+
+func TestFetchBandwidth(t *testing.T) {
+	insts := make([]isa.Inst, 24)
+	for i := range insts {
+		insts[i] = mk(isa.IntALU, isa.Reg(i%60+1))
+	}
+	m, _ := run(t, machine.NewConfig(1), buildTrace(insts...), steer.DepBased{})
+	for i, e := range m.Events() {
+		want := int64(i / 8)
+		if e.Fetch != want {
+			t.Errorf("inst %d fetched at %d, want %d", i, e.Fetch, want)
+		}
+	}
+}
+
+// checkInvariants verifies global structural invariants over a run.
+func checkInvariants(t *testing.T, m *machine.Machine, res machine.Result) {
+	t.Helper()
+	ev := m.Events()
+	cfg := m.Config()
+	tr := m.Trace()
+
+	issuePerCycle := map[[2]int64]int{}
+	commitPerCycle := map[int64]int{}
+	prevCommit := int64(-1)
+	for i := range ev {
+		e := &ev[i]
+		if e.Commit == machine.Unset {
+			t.Fatalf("inst %d never committed", i)
+		}
+		if e.Fetch < 0 || e.Dispatch < e.Fetch+int64(cfg.PipelineDepth) ||
+			e.Ready < e.Dispatch+1 || e.Issue < e.Ready ||
+			e.Complete <= e.Issue || e.Commit <= e.Complete {
+			t.Fatalf("inst %d has inconsistent timestamps: %+v", i, *e)
+		}
+		if e.Commit < prevCommit {
+			t.Fatalf("inst %d commits at %d before predecessor at %d", i, e.Commit, prevCommit)
+		}
+		prevCommit = e.Commit
+		commitPerCycle[e.Commit]++
+		issuePerCycle[[2]int64{int64(e.Cluster), e.Issue}]++
+		if int(e.Cluster) >= cfg.Clusters {
+			t.Fatalf("inst %d on cluster %d of %d", i, e.Cluster, cfg.Clusters)
+		}
+		// Dataflow: issue must not precede operand availability.
+		for _, p := range tr.Producers(i, nil) {
+			pe := &ev[p]
+			avail := pe.Complete
+			if pe.Cluster != e.Cluster {
+				avail += int64(cfg.FwdLatency)
+			}
+			if e.Issue < avail {
+				t.Fatalf("inst %d issued at %d before operand from %d available at %d",
+					i, e.Issue, p, avail)
+			}
+		}
+		// ROB capacity.
+		if i >= cfg.ROBSize {
+			if e.Dispatch < ev[i-cfg.ROBSize].Commit {
+				t.Fatalf("inst %d dispatched at %d before ROB slot freed at %d",
+					i, e.Dispatch, ev[i-cfg.ROBSize].Commit)
+			}
+		}
+	}
+	for key, n := range issuePerCycle {
+		if n > cfg.IssuePerCluster {
+			t.Fatalf("cluster %d issued %d > %d at cycle %d", key[0], n, cfg.IssuePerCluster, key[1])
+		}
+	}
+	for cyc, n := range commitPerCycle {
+		if n > cfg.CommitWidth {
+			t.Fatalf("committed %d > %d at cycle %d", n, cfg.CommitWidth, cyc)
+		}
+	}
+	// Window capacity: line-sweep per cluster over [dispatch, issue).
+	type delta struct {
+		cyc int64
+		d   int
+	}
+	perCluster := make([][]delta, cfg.Clusters)
+	for i := range ev {
+		c := int(ev[i].Cluster)
+		perCluster[c] = append(perCluster[c], delta{ev[i].Dispatch, 1}, delta{ev[i].Issue, -1})
+	}
+	for c, ds := range perCluster {
+		byCycle := map[int64]int{}
+		for _, d := range ds {
+			byCycle[d.cyc] += d.d
+		}
+		cycles := make([]int64, 0, len(byCycle))
+		for cyc := range byCycle {
+			cycles = append(cycles, cyc)
+		}
+		sortInt64s(cycles)
+		occ := 0
+		for _, cyc := range cycles {
+			occ += byCycle[cyc]
+			if occ > cfg.WindowPerCluster {
+				t.Fatalf("cluster %d window occupancy %d > %d at cycle %d",
+					c, occ, cfg.WindowPerCluster, cyc)
+			}
+		}
+		if occ != 0 {
+			t.Fatalf("cluster %d occupancy did not return to zero", c)
+		}
+	}
+	if res.Cycles <= 0 || res.Insts != int64(len(ev)) {
+		t.Fatalf("result bookkeeping wrong: %+v", res)
+	}
+}
+
+func TestInvariantsAcrossConfigsAndWorkloads(t *testing.T) {
+	benchmarks := []string{"vpr", "mcf", "eon", "gcc"}
+	rng := xrand.New(11)
+	for _, name := range benchmarks {
+		tr, err := workload.Generate(name, 6000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, clusters := range []int{1, 2, 4, 8} {
+			for _, pol := range []machine.SteerPolicy{
+				steer.DepBased{}, steer.Focused{}, steer.LoC{},
+				&steer.StallOverSteer{}, steer.NewProactive(),
+			} {
+				cfg := machine.NewConfig(clusters)
+				cfg.SchedMode = machine.SchedLoC
+				hooks := machine.Hooks{
+					Binary: predictor.NewDefaultBinary(),
+					LoC:    predictor.NewDefaultLoC(xrand.New(rng.Uint64())),
+				}
+				m, err := machine.New(cfg, tr, pol, hooks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := m.Run()
+				checkInvariants(t, m, res)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr, _ := workload.Generate("vpr", 4000, 7)
+	var cycles []int64
+	for i := 0; i < 2; i++ {
+		cfg := machine.NewConfig(4)
+		cfg.SchedMode = machine.SchedLoC
+		hooks := machine.Hooks{LoC: predictor.NewDefaultLoC(xrand.New(99))}
+		m, err := machine.New(cfg, tr, &steer.StallOverSteer{}, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, m.Run().Cycles)
+	}
+	if cycles[0] != cycles[1] {
+		t.Fatalf("identical runs gave %d and %d cycles", cycles[0], cycles[1])
+	}
+}
+
+func TestClusteringCostsPerformance(t *testing.T) {
+	// The monolithic machine should be at least as fast as an 8x1w with
+	// the same (baseline) policy on a dependence-heavy workload.
+	tr, _ := workload.Generate("gzip", 8000, 1)
+	_, mono := run(t, machine.NewConfig(1), tr, steer.DepBased{})
+	_, clus := run(t, machine.NewConfig(8), tr, steer.DepBased{})
+	if float64(clus.Cycles) < float64(mono.Cycles)*0.99 {
+		t.Errorf("8x1w (%d cycles) implausibly faster than 1x8w (%d)", clus.Cycles, mono.Cycles)
+	}
+}
+
+func TestZeroForwardingNarrowsGap(t *testing.T) {
+	tr, _ := workload.Generate("gzip", 8000, 1)
+	cfg2 := machine.NewConfig(8)
+	_, with := run(t, cfg2, tr, steer.DepBased{})
+	cfg0 := machine.NewConfig(8)
+	cfg0.FwdLatency = 0
+	_, without := run(t, cfg0, tr, steer.DepBased{})
+	if without.Cycles > with.Cycles {
+		t.Errorf("free forwarding slowed the machine: %d vs %d", without.Cycles, with.Cycles)
+	}
+}
+
+func TestGlobalValuesCounted(t *testing.T) {
+	tr := buildTrace(
+		mk(isa.IntALU, 1),
+		mk(isa.IntALU, 2, 1), // cluster 1 consumes cluster 0's value
+		mk(isa.IntALU, 3, 1), // cluster 0 consumes its own value again
+	)
+	_, res := run(t, machine.NewConfig(2), tr, &fixedPolicy{clusters: []int{0, 1, 0}})
+	if res.GlobalValues != 1 {
+		t.Errorf("global values = %d, want 1 (one value crossed once)", res.GlobalValues)
+	}
+}
+
+func TestMonolithicHasNoGlobalValues(t *testing.T) {
+	tr, _ := workload.Generate("vpr", 3000, 1)
+	_, res := run(t, machine.NewConfig(1), tr, steer.DepBased{})
+	if res.GlobalValues != 0 {
+		t.Errorf("monolithic machine reported %d global values", res.GlobalValues)
+	}
+}
+
+func TestEpochCallback(t *testing.T) {
+	tr, _ := workload.Generate("vpr", 5000, 1)
+	var ranges [][2]int64
+	cfg := machine.NewConfig(2)
+	m, err := machine.New(cfg, tr, steer.DepBased{}, machine.Hooks{
+		EpochLen: 1000,
+		OnEpoch:  func(from, to int64) { ranges = append(ranges, [2]int64{from, to}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if len(ranges) < 4 {
+		t.Fatalf("expected >= 4 epochs, got %d", len(ranges))
+	}
+	for i, r := range ranges {
+		if r[1]-r[0] != 1000 || r[0] != int64(i)*1000 {
+			t.Fatalf("epoch %d has range %v", i, r)
+		}
+	}
+}
+
+func TestILPHistogramAccounting(t *testing.T) {
+	tr, _ := workload.Generate("eon", 5000, 1)
+	_, res := run(t, machine.NewConfig(8), tr, steer.DepBased{})
+	var issuedSum int64
+	for b := 0; b <= machine.MaxILPBucket; b++ {
+		issuedSum += res.ILPIssued[b]
+		if res.ILPIssued[b] > 0 && res.ILPAvail[b] == 0 {
+			t.Fatalf("bucket %d has issues without cycles", b)
+		}
+	}
+	if issuedSum != res.Insts {
+		t.Fatalf("ILP histogram issued %d, want every instruction (%d)", issuedSum, res.Insts)
+	}
+}
+
+func TestConfigPartitioning(t *testing.T) {
+	for _, tc := range []struct {
+		clusters, width, fp, mem, window int
+	}{
+		{1, 8, 4, 4, 128},
+		{2, 4, 2, 2, 64},
+		{4, 2, 1, 1, 32},
+		{8, 1, 1, 1, 16},
+	} {
+		cfg := machine.NewConfig(tc.clusters)
+		if cfg.IssuePerCluster != tc.width || cfg.FPPerCluster != tc.fp ||
+			cfg.MemPerCluster != tc.mem || cfg.WindowPerCluster != tc.window {
+			t.Errorf("NewConfig(%d) = %+v", tc.clusters, cfg)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("NewConfig(%d) invalid: %v", tc.clusters, err)
+		}
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	for clusters, want := range map[int]string{1: "1x8w", 2: "2x4w", 4: "4x2w", 8: "8x1w"} {
+		if got := machine.NewConfig(clusters).Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	tr := buildTrace(mk(isa.IntALU, 1))
+	if _, err := machine.New(machine.Config{}, tr, steer.DepBased{}, machine.Hooks{}); err == nil {
+		t.Error("accepted zero config")
+	}
+	if _, err := machine.New(machine.NewConfig(1), &trace.Trace{}, steer.DepBased{}, machine.Hooks{}); err == nil {
+		t.Error("accepted empty trace")
+	}
+	if _, err := machine.New(machine.NewConfig(1), tr, nil, machine.Hooks{}); err == nil {
+		t.Error("accepted nil policy")
+	}
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package machine
+
+import "clustersim/internal/isa"
+
+// SteerPolicy decides which cluster each dispatching instruction joins.
+// Implementations live in the steer package; the interface is defined
+// here because the machine owns the extension point.
+//
+// Steer is invoked once per dispatch attempt. A policy that returns
+// Stall=true keeps the instruction (and, because steering is in order,
+// everything younger) at the steering stage for this cycle; the machine
+// will ask again next cycle.
+type SteerPolicy interface {
+	// Name identifies the policy in results and tables.
+	Name() string
+	// Steer chooses a cluster for the instruction described by view.
+	Steer(view *SteerView) Decision
+	// OnIssue notifies the policy that an instruction has left a window
+	// (some policies track per-cluster state).
+	OnIssue(seq int64, cluster int)
+	// OnCommit notifies the policy of an in-order retirement (the
+	// proactive policy learns consumer criticality here).
+	OnCommit(seq int64, view *RetireView)
+	// Reset clears any per-run state (tables learned across runs are
+	// policies' own business; the machine calls Reset before each run).
+	Reset()
+}
+
+// Decision is a steering outcome.
+type Decision struct {
+	// Cluster is the chosen cluster, or — when Stall is set — the
+	// desired-but-unavailable cluster being waited for.
+	Cluster int
+	// Stall requests that steering hold the instruction this cycle
+	// rather than send it anywhere (Section 5, stall-over-steer).
+	Stall bool
+	// Tag classifies the outcome for critical-path breakdowns.
+	Tag SteerTag
+}
+
+// ProducerInfo describes one in-flight producer of a dispatching
+// instruction's source operand.
+type ProducerInfo struct {
+	Seq     int64
+	PC      uint64
+	Cluster int
+	// Outstanding is true while collocating with the producer still
+	// matters: the value has not yet become globally visible (it either
+	// has not completed, or completed so recently that a remote consumer
+	// would still pay forwarding delay).
+	Outstanding bool
+}
+
+// Placed reports whether the producer's cluster is known to the steering
+// circuit (false for same-cycle producers under group steering).
+func (p ProducerInfo) Placed() bool { return p.Cluster >= 0 }
+
+// SteerView is the steering policy's window onto machine state for one
+// dispatching instruction.
+type SteerView struct {
+	m         *Machine
+	seq       int64
+	producers []ProducerInfo
+	snapOcc   []int // start-of-cycle occupancies under group steering
+}
+
+// Inst returns the dispatching instruction.
+func (v *SteerView) Inst() *isa.Inst { return &v.m.tr.Insts[v.seq] }
+
+// Seq returns the instruction's dynamic sequence number.
+func (v *SteerView) Seq() int64 { return v.seq }
+
+// Clusters returns the cluster count.
+func (v *SteerView) Clusters() int { return v.m.cfg.Clusters }
+
+// WindowCap returns each cluster's scheduling-window capacity.
+func (v *SteerView) WindowCap() int { return v.m.cfg.WindowPerCluster }
+
+// Occupancy returns the number of instructions waiting in cluster c's
+// scheduling window. Under group steering this is the start-of-cycle
+// snapshot, blind to same-cycle placements.
+func (v *SteerView) Occupancy(c int) int {
+	if v.snapOcc != nil {
+		return v.snapOcc[c]
+	}
+	return len(v.m.clusters[c].entries)
+}
+
+// HasSpace reports whether cluster c can accept an instruction (from the
+// policy's — possibly snapshot — point of view).
+func (v *SteerView) HasSpace(c int) bool {
+	return v.Occupancy(c) < v.m.cfg.WindowPerCluster
+}
+
+// ReadyCount returns the number of data-ready-but-unissued instructions
+// waiting in cluster c's window as of this cycle's issue phase — the
+// "accurate view of instruction readiness" the paper's conclusion says
+// steering lacks. Readiness-aware extension policies use it; the paper's
+// own policies do not.
+func (v *SteerView) ReadyCount(c int) int { return v.m.readyCount[c] }
+
+// LeastLoaded returns the cluster with the fewest in-flight instructions
+// (ties go to the lowest-numbered cluster, matching the paper's
+// dependence-based steering fallback).
+func (v *SteerView) LeastLoaded() int {
+	best, bestOcc := 0, v.Occupancy(0)
+	for c := 1; c < v.Clusters(); c++ {
+		if occ := v.Occupancy(c); occ < bestOcc {
+			best, bestOcc = c, occ
+		}
+	}
+	return best
+}
+
+// Producers returns the in-flight producers of the instruction's source
+// operands (register sources and, for loads, the forwarding store). Only
+// producers that have already dispatched are listed — in-order dispatch
+// guarantees that is all of them.
+func (v *SteerView) Producers() []ProducerInfo { return v.producers }
+
+// PredCritical returns the binary criticality prediction for pc, or false
+// if the machine has no binary predictor attached.
+func (v *SteerView) PredCritical(pc uint64) bool {
+	if v.m.binary == nil {
+		return false
+	}
+	return v.m.binary.Predict(pc)
+}
+
+// LoCLevel returns the likelihood-of-criticality level (0..15) for pc, or
+// 0 if the machine has no LoC predictor attached.
+func (v *SteerView) LoCLevel(pc uint64) int {
+	if v.m.loc == nil {
+		return 0
+	}
+	return v.m.loc.Level(pc)
+}
+
+// LoCLevelOf scores a producer by its LoC level; policies pass it to
+// their producer-selection helpers.
+func (v *SteerView) LoCLevelOf(p ProducerInfo) int { return v.LoCLevel(p.PC) }
+
+// LoCFrac returns the likelihood of criticality for pc in [0, 1].
+func (v *SteerView) LoCFrac(pc uint64) float64 {
+	if v.m.loc == nil {
+		return 0
+	}
+	return v.m.loc.Frac(pc)
+}
+
+// RetireView gives OnCommit access to the retiring instruction.
+type RetireView struct {
+	m   *Machine
+	seq int64
+}
+
+// Inst returns the retiring instruction.
+func (v *RetireView) Inst() *isa.Inst { return &v.m.tr.Insts[v.seq] }
+
+// ProducerPCs appends the static PCs of the instruction's producers to
+// dst and returns it.
+func (v *RetireView) ProducerPCs(dst []uint64) []uint64 {
+	var buf [3]int32
+	for _, p := range v.m.tr.Producers(int(v.seq), buf[:0]) {
+		dst = append(dst, v.m.tr.Insts[p].PC)
+	}
+	return dst
+}
+
+// LoCLevel returns the LoC level for pc (0 without a predictor).
+func (v *RetireView) LoCLevel(pc uint64) int {
+	if v.m.loc == nil {
+		return 0
+	}
+	return v.m.loc.Level(pc)
+}

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTimeline renders a pipeline diagram of instructions [from, to) of
+// a finished run: one row per instruction, one column per cycle, with
+//
+//	F fetch   D dispatch   r ready   I issue   = executing   C commit
+//
+// and '.' while waiting in the scheduling window. It is a debugging and
+// teaching aid (the examples use it to replay the paper's Figure 3); the
+// range must be small enough to read — at most 64 instructions.
+func WriteTimeline(w io.Writer, m *Machine, from, to int64) error {
+	ev := m.Events()
+	if from < 0 || to <= from || to > int64(len(ev)) {
+		return fmt.Errorf("machine: bad timeline range [%d, %d)", from, to)
+	}
+	if to-from > 64 {
+		return fmt.Errorf("machine: timeline range too large (%d > 64)", to-from)
+	}
+	if ev[to-1].Commit == Unset {
+		return fmt.Errorf("machine: instructions not committed")
+	}
+	tr := m.Trace()
+
+	minC, maxC := ev[from].Fetch, ev[from].Commit
+	for i := from; i < to; i++ {
+		if ev[i].Fetch < minC {
+			minC = ev[i].Fetch
+		}
+		if ev[i].Commit > maxC {
+			maxC = ev[i].Commit
+		}
+	}
+	span := maxC - minC + 1
+	if span > 200 {
+		return fmt.Errorf("machine: timeline spans %d cycles (max 200)", span)
+	}
+
+	fmt.Fprintf(w, "cycles %d..%d (F fetch, D dispatch, r ready, I issue, = exec, C commit)\n", minC, maxC)
+	for i := from; i < to; i++ {
+		e := &ev[i]
+		row := make([]byte, span)
+		for k := range row {
+			row[k] = ' '
+		}
+		put := func(cyc int64, ch byte) {
+			k := cyc - minC
+			if k >= 0 && k < span && row[k] == ' ' {
+				row[k] = ch
+			}
+		}
+		for c := e.Dispatch; c < e.Issue; c++ {
+			put(c, '.')
+		}
+		for c := e.Issue; c < e.Complete; c++ {
+			put(c, '=')
+		}
+		// Markers override the phase fill.
+		set := func(cyc int64, ch byte) {
+			if k := cyc - minC; k >= 0 && k < span {
+				row[k] = ch
+			}
+		}
+		set(e.Fetch, 'F')
+		set(e.Dispatch, 'D')
+		set(e.Ready, 'r')
+		set(e.Issue, 'I')
+		set(e.Commit, 'C')
+		fmt.Fprintf(w, "%4d c%d %-7s |%s|\n", i, e.Cluster,
+			truncOp(tr.Insts[i].Op.String()), string(row))
+	}
+	return nil
+}
+
+func truncOp(s string) string {
+	if len(s) > 7 {
+		return s[:7]
+	}
+	return strings.ToLower(s)
+}

@@ -1,0 +1,53 @@
+package machine_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/machine"
+	"clustersim/internal/steer"
+)
+
+func TestWriteTimeline(t *testing.T) {
+	tr := buildTrace(
+		mk(isa.IntALU, 1),
+		mk(isa.IntALU, 2, 1),
+		mk(isa.Load, 3),
+	)
+	m, _ := run(t, machine.NewConfig(2), tr, steer.DepBased{})
+	var buf bytes.Buffer
+	if err := machine.WriteTimeline(&buf, m, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"F", "D", "I", "C", "load", "intalu", "cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 4 { // header + 3 rows
+		t.Errorf("unexpected row count:\n%s", out)
+	}
+}
+
+func TestWriteTimelineRejectsBadRanges(t *testing.T) {
+	tr := buildTrace(mk(isa.IntALU, 1))
+	m, _ := run(t, machine.NewConfig(1), tr, steer.DepBased{})
+	var buf bytes.Buffer
+	for _, rng := range [][2]int64{{-1, 1}, {0, 0}, {0, 2}} {
+		if err := machine.WriteTimeline(&buf, m, rng[0], rng[1]); err == nil {
+			t.Errorf("accepted range %v", rng)
+		}
+	}
+	// Too-large ranges are refused.
+	big := make([]isa.Inst, 100)
+	for i := range big {
+		big[i] = mk(isa.IntALU, isa.Reg(i%60+1))
+	}
+	m2, _ := run(t, machine.NewConfig(1), buildTrace(big...), steer.DepBased{})
+	if err := machine.WriteTimeline(&buf, m2, 0, 100); err == nil {
+		t.Error("accepted oversized range")
+	}
+}

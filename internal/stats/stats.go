@@ -1,0 +1,160 @@
+// Package stats provides the small numeric and rendering utilities the
+// experiment harness uses: means, normalization, fixed-width tables and
+// ASCII histograms that mirror the paper's figures as terminal output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 for empty input; panics on
+// non-positive values, which would indicate a bug upstream).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Table renders labeled rows of float columns with fixed-width formatting.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+	Decimal int // digits after the point (default 3)
+}
+
+type row struct {
+	label string
+	vals  []float64
+}
+
+// AddRow appends a labeled row; vals must match Columns in length.
+func (t *Table) AddRow(label string, vals ...float64) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %q has %d values for %d columns", label, len(vals), len(t.Columns)))
+	}
+	t.rows = append(t.rows, row{label, vals})
+}
+
+// Rows returns the number of rows added.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Value returns the cell at (row, col).
+func (t *Table) Value(r, c int) float64 { return t.rows[r].vals[c] }
+
+// Label returns the label of row r.
+func (t *Table) Label(r int) string { return t.rows[r].label }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	dec := t.Decimal
+	if dec == 0 {
+		dec = 3
+	}
+	labelW := 10
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := 8
+	for _, c := range t.Columns {
+		if len(c)+1 > colW {
+			colW = len(c) + 1
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	fmt.Fprintf(w, "%-*s", labelW, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, "%*s", colW, c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.rows {
+		fmt.Fprintf(w, "%-*s", labelW, r.label)
+		for _, v := range r.vals {
+			fmt.Fprintf(w, "%*.*f", colW, dec, v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// ColumnMeans returns the per-column arithmetic means across rows.
+func (t *Table) ColumnMeans() []float64 {
+	means := make([]float64, len(t.Columns))
+	if len(t.rows) == 0 {
+		return means
+	}
+	for _, r := range t.rows {
+		for i, v := range r.vals {
+			means[i] += v
+		}
+	}
+	for i := range means {
+		means[i] /= float64(len(t.rows))
+	}
+	return means
+}
+
+// SortRows orders rows by label (benchmarks print alphabetically, as in
+// the paper's figures).
+func (t *Table) SortRows() {
+	sort.Slice(t.rows, func(i, j int) bool { return t.rows[i].label < t.rows[j].label })
+}
+
+// Histogram renders an ASCII bar chart of buckets labeled by labels.
+func Histogram(w io.Writer, title string, labels []string, values []float64, maxBar int) {
+	if len(labels) != len(values) {
+		panic("stats: histogram labels/values mismatch")
+	}
+	if maxBar <= 0 {
+		maxBar = 50
+	}
+	peak := 0.0
+	for _, v := range values {
+		if v > peak {
+			peak = v
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if peak > 0 {
+			bar = int(v / peak * float64(maxBar))
+		}
+		fmt.Fprintf(w, "%*s %7.2f %s\n", labelW, labels[i], v, strings.Repeat("#", bar))
+	}
+}

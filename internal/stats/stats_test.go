@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean accepted non-positive value")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("x", 1, 2)
+	tb.AddRow("y", 3, 4)
+	if tb.Rows() != 2 || tb.Value(1, 0) != 3 || tb.Label(0) != "x" {
+		t.Fatal("accessors wrong")
+	}
+	means := tb.ColumnMeans()
+	if means[0] != 2 || means[1] != 3 {
+		t.Fatalf("means = %v", means)
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T", "a", "b", "x", "1.000", "4.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTableSortRows(t *testing.T) {
+	tb := &Table{Columns: []string{"v"}}
+	tb.AddRow("b", 2)
+	tb.AddRow("a", 1)
+	tb.SortRows()
+	if tb.Label(0) != "a" {
+		t.Error("SortRows did not sort")
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.AddRow("x", 1)
+}
+
+func TestColumnMeansEmpty(t *testing.T) {
+	tb := &Table{Columns: []string{"a"}}
+	if got := tb.ColumnMeans(); got[0] != 0 {
+		t.Errorf("empty means = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "H", []string{"a", "b"}, []float64{1, 2}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "H") || !strings.Contains(out, "##########") {
+		t.Errorf("histogram render: %q", out)
+	}
+	// All-zero values must not divide by zero.
+	Histogram(&buf, "", []string{"z"}, []float64{0}, 0)
+}
+
+func TestHistogramMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Histogram(&bytes.Buffer{}, "", []string{"a"}, []float64{1, 2}, 10)
+}

@@ -1,0 +1,88 @@
+package steer
+
+import "clustersim/internal/machine"
+
+// This file holds the non-dependence-based baselines from the clustering
+// literature the paper builds on (Baniasadi & Moshovos, MICRO'00 survey
+// of distribution heuristics). They are not part of the paper's policy
+// progression but are useful comparison points and exercise the same
+// machine interfaces.
+
+// RoundRobin steers successive instructions to successive clusters,
+// ignoring dataflow entirely — maximal balance, minimal locality.
+type RoundRobin struct {
+	Base
+	next int
+}
+
+// NewRoundRobin returns a round-robin steering policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements machine.SteerPolicy.
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+// Reset implements machine.SteerPolicy.
+func (r *RoundRobin) Reset() { r.next = 0 }
+
+// Steer implements machine.SteerPolicy.
+func (r *RoundRobin) Steer(v *machine.SteerView) machine.Decision {
+	n := v.Clusters()
+	for tries := 0; tries < n; tries++ {
+		c := r.next % n
+		r.next++
+		if v.HasSpace(c) {
+			return machine.Decision{Cluster: c, Tag: machine.SteerNoPref}
+		}
+	}
+	return machine.Decision{Cluster: r.next % n, Stall: true, Tag: machine.SteerNoPref}
+}
+
+// ModN steers N consecutive instructions to one cluster before moving to
+// the next — the "slice" heuristic: cheap locality from program-order
+// proximity without tracking dataflow.
+type ModN struct {
+	Base
+	// N is the slice length (default 8, one fetch group).
+	N       int
+	current int
+	count   int
+}
+
+// NewModN returns a Mod-N steering policy with the given slice length.
+func NewModN(n int) *ModN {
+	if n <= 0 {
+		n = 8
+	}
+	return &ModN{N: n}
+}
+
+// Name implements machine.SteerPolicy.
+func (m *ModN) Name() string { return "modn" }
+
+// Reset implements machine.SteerPolicy.
+func (m *ModN) Reset() { m.current, m.count = 0, 0 }
+
+// Steer implements machine.SteerPolicy.
+func (m *ModN) Steer(v *machine.SteerView) machine.Decision {
+	n := v.Clusters()
+	if m.count >= m.N {
+		m.count = 0
+		m.current = (m.current + 1) % n
+	}
+	// If the slice's cluster is full, advance early rather than stall:
+	// Mod-N trades locality for forward progress.
+	for tries := 0; tries < n; tries++ {
+		if v.HasSpace(m.current) {
+			m.count++
+			return machine.Decision{Cluster: m.current, Tag: machine.SteerNoPref}
+		}
+		m.current = (m.current + 1) % n
+		m.count = 0
+	}
+	return machine.Decision{Cluster: m.current, Stall: true, Tag: machine.SteerNoPref}
+}
+
+var (
+	_ machine.SteerPolicy = (*RoundRobin)(nil)
+	_ machine.SteerPolicy = (*ModN)(nil)
+)

@@ -1,0 +1,77 @@
+package steer_test
+
+import (
+	"testing"
+
+	"clustersim/internal/machine"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+func TestRoundRobinBalances(t *testing.T) {
+	tr, _ := workload.Generate("eon", 4000, 1)
+	m, _ := runPolicy(t, 4, tr, steer.NewRoundRobin(), machine.Hooks{})
+	counts := map[int16]int{}
+	for _, e := range m.Events() {
+		counts[e.Cluster]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("round-robin used %d clusters", len(counts))
+	}
+	min, max := tr.Len(), 0
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if float64(min) < float64(max)*0.8 {
+		t.Errorf("round-robin imbalance: min %d, max %d", min, max)
+	}
+}
+
+func TestModNKeepsSlicesTogether(t *testing.T) {
+	tr, _ := workload.Generate("eon", 4000, 1)
+	m, _ := runPolicy(t, 4, tr, steer.NewModN(8), machine.Hooks{})
+	ev := m.Events()
+	// Consecutive instructions should share a cluster much more often
+	// than under round-robin.
+	same := 0
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Cluster == ev[i-1].Cluster {
+			same++
+		}
+	}
+	frac := float64(same) / float64(len(ev)-1)
+	if frac < 0.5 {
+		t.Errorf("Mod-N consecutive-cluster fraction %v, want > 0.5", frac)
+	}
+}
+
+func TestDependenceBeatsBlindBaselinesOnChains(t *testing.T) {
+	// On a dependence-chain workload, dependence-based steering must
+	// beat round-robin (which forwards every chain link).
+	tr := chainTrace(2000)
+	_, dep := runPolicy(t, 4, tr, steer.DepBased{}, machine.Hooks{})
+	_, rr := runPolicy(t, 4, tr, steer.NewRoundRobin(), machine.Hooks{})
+	if dep.Cycles >= rr.Cycles {
+		t.Errorf("dep-based (%d cycles) did not beat round-robin (%d)", dep.Cycles, rr.Cycles)
+	}
+}
+
+func TestBaselinesCompleteAndReset(t *testing.T) {
+	tr, _ := workload.Generate("gcc", 3000, 1)
+	for _, pol := range []machine.SteerPolicy{steer.NewRoundRobin(), steer.NewModN(0)} {
+		m, res := runPolicy(t, 8, tr, pol, machine.Hooks{})
+		if res.Insts != int64(tr.Len()) {
+			t.Fatalf("%s: incomplete run", pol.Name())
+		}
+		_ = m
+		pol.Reset()
+	}
+	if steer.NewModN(0).N != 8 {
+		t.Error("ModN default slice length should be 8")
+	}
+}

@@ -1,0 +1,148 @@
+package steer
+
+import (
+	"clustersim/internal/machine"
+)
+
+// Proactive implements Section 6's proactive load-balancing on top of
+// stall-over-steer. Two mechanisms push non-critical consumers away from
+// their producers so the most critical consumer finds room:
+//
+//  1. Most-critical-consumer tracking: at retirement, a consumer's LoC is
+//     compared against the highest consumer LoC yet recorded for each of
+//     its producers' static PCs; if lower, the consumer's own PC is
+//     tagged as a load-balancing candidate (Section 7's implementation).
+//
+//  2. Single-consumer steering: a dynamic producer is "followed" by at
+//     most one consumer; later consumers are load-balanced.
+//
+// Both are overridden for particularly critical consumers: an instruction
+// is never load-balanced away if its LoC exceeds OverrideLoC and is at
+// least half its producer's (suggesting it is the most critical
+// consumer), per Section 7.
+type Proactive struct {
+	// StallThreshold is the stall-over-steer LoC fraction (0 means
+	// DefaultStallThreshold).
+	StallThreshold float64
+	// OverrideLoC is the LoC fraction above which (combined with the
+	// half-of-producer rule) a consumer refuses load-balancing; zero
+	// means the paper's 5%.
+	OverrideLoC float64
+	// PressureFrac is the producer-cluster occupancy (as a fraction of
+	// window capacity) above which proactive pushing engages; zero means
+	// the default 0.75. Pushing with plenty of room only adds forwarding.
+	PressureFrac float64
+
+	// maxConsumerLoC[producerPC] is the highest consumer LoC level seen.
+	maxConsumerLoC map[uint64]int
+	// balanceCandidate[consumerPC] marks consumers learned to be less
+	// critical than their producer's most critical consumer.
+	balanceCandidate map[uint64]bool
+	// followed[producerSeq] marks dynamic producers already followed by
+	// a collocated consumer.
+	followed map[int64]bool
+
+	pcBuf []uint64
+}
+
+// NewProactive returns a proactive load-balancing policy with the paper's
+// thresholds.
+func NewProactive() *Proactive {
+	p := &Proactive{}
+	p.Reset()
+	return p
+}
+
+// Name implements machine.SteerPolicy.
+func (p *Proactive) Name() string { return "proactive" }
+
+// Reset implements machine.SteerPolicy. Learned per-PC state is cleared
+// too: every run starts cold, as with the other predictors.
+func (p *Proactive) Reset() {
+	p.maxConsumerLoC = make(map[uint64]int)
+	p.balanceCandidate = make(map[uint64]bool)
+	p.followed = make(map[int64]bool)
+}
+
+// OnIssue implements machine.SteerPolicy.
+func (p *Proactive) OnIssue(seq int64, cluster int) {}
+
+// OnCommit learns consumer criticality: compare the retiring consumer's
+// LoC with the most critical consumer recorded for each producer.
+func (p *Proactive) OnCommit(seq int64, view *machine.RetireView) {
+	delete(p.followed, seq)
+	my := view.LoCLevel(view.Inst().PC)
+	p.pcBuf = view.ProducerPCs(p.pcBuf[:0])
+	for _, ppc := range p.pcBuf {
+		maxLoC, seen := p.maxConsumerLoC[ppc]
+		if !seen || my > maxLoC {
+			p.maxConsumerLoC[ppc] = my
+			// This consumer *is* the most critical seen: it must not be
+			// pushed away.
+			delete(p.balanceCandidate, view.Inst().PC)
+		} else if my < maxLoC {
+			p.balanceCandidate[view.Inst().PC] = true
+		}
+	}
+}
+
+// Steer implements machine.SteerPolicy.
+func (p *Proactive) Steer(v *machine.SteerView) machine.Decision {
+	thr := p.StallThreshold
+	if thr == 0 {
+		thr = DefaultStallThreshold
+	}
+	override := p.OverrideLoC
+	if override == 0 {
+		override = 0.05
+	}
+
+	desired, tag, ok := pickDesired(v, v.LoCLevelOf)
+	if !ok {
+		lb, space := leastLoadedWithSpace(v)
+		if !space {
+			return machine.Decision{Cluster: 0, Stall: true, Tag: machine.SteerNoPref}
+		}
+		return machine.Decision{Cluster: lb, Tag: machine.SteerNoPref}
+	}
+
+	pc := v.Inst().PC
+	myLoC := v.LoCFrac(pc)
+	prodLoC := v.LoCFrac(desired.PC)
+	// Section 7's override: likely the most critical consumer — never
+	// load-balance it away from its producer.
+	mustFollow := myLoC > override && myLoC >= prodLoC/2
+
+	// Proactive pushing exists to make room at the producer's cluster
+	// for a more critical consumer; with plenty of room there is nothing
+	// to make, and pushing would only add forwarding delay.
+	pf := p.PressureFrac
+	if pf == 0 {
+		pf = 0.75
+	}
+	pressured := float64(v.Occupancy(desired.Cluster)) >= pf*float64(v.WindowCap())
+
+	if !mustFollow && pressured && (p.balanceCandidate[pc] || p.followed[desired.Seq]) {
+		// Proactively push this consumer elsewhere to keep room at the
+		// producer for a more critical consumer.
+		if lb, space := leastLoadedWithSpace(v); space {
+			return machine.Decision{Cluster: lb, Tag: machine.SteerProactive}
+		}
+		return machine.Decision{Cluster: desired.Cluster, Stall: true, Tag: tag}
+	}
+
+	if v.HasSpace(desired.Cluster) {
+		p.followed[desired.Seq] = true
+		return machine.Decision{Cluster: desired.Cluster, Tag: tag}
+	}
+	// Full: stall-over-steer for execute-critical instructions.
+	if myLoC >= thr {
+		return machine.Decision{Cluster: desired.Cluster, Stall: true, Tag: tag}
+	}
+	if lb, space := leastLoadedWithSpace(v); space {
+		return machine.Decision{Cluster: lb, Tag: machine.SteerLoadBalanced}
+	}
+	return machine.Decision{Cluster: desired.Cluster, Stall: true, Tag: tag}
+}
+
+var _ machine.SteerPolicy = (*Proactive)(nil)

@@ -1,0 +1,68 @@
+package steer
+
+import "clustersim/internal/machine"
+
+// ReadyBalance is a future-work policy beyond the paper: its conclusion
+// attributes the final ~5% gap to steering lacking "a global and
+// accurate view of instruction readiness", so that "choosing the least-
+// full cluster ... is not always appropriate". ReadyBalance is the
+// proactive policy with exactly that view added: wherever the paper's
+// policies load-balance by window occupancy, it balances by the number
+// of *data-ready* instructions in each window (ties broken by
+// occupancy), steering parallel work toward clusters whose issue slots
+// would otherwise idle.
+type ReadyBalance struct {
+	Proactive
+}
+
+// NewReadyBalance returns the readiness-aware policy.
+func NewReadyBalance() *ReadyBalance {
+	r := &ReadyBalance{}
+	r.Reset()
+	return r
+}
+
+// Name implements machine.SteerPolicy.
+func (r *ReadyBalance) Name() string { return "readybalance" }
+
+// Steer implements machine.SteerPolicy: proactive steering, but with
+// every load-balance destination re-chosen by readiness.
+func (r *ReadyBalance) Steer(v *machine.SteerView) machine.Decision {
+	dec := r.Proactive.Steer(v)
+	if dec.Stall {
+		return dec
+	}
+	switch dec.Tag {
+	case machine.SteerNoPref, machine.SteerLoadBalanced, machine.SteerProactive:
+		if c, ok := leastReadyWithSpace(v); ok {
+			dec.Cluster = c
+		}
+	}
+	return dec
+}
+
+// leastReadyWithSpace picks the cluster with the fewest ready-but-
+// unissued instructions (then fewest in-flight) that can accept an
+// instruction.
+func leastReadyWithSpace(v *machine.SteerView) (int, bool) {
+	best, found := 0, false
+	for c := 0; c < v.Clusters(); c++ {
+		if !v.HasSpace(c) {
+			continue
+		}
+		if !found {
+			best, found = c, true
+			continue
+		}
+		rc, rb := v.ReadyCount(c), v.ReadyCount(best)
+		switch {
+		case rc < rb:
+			best = c
+		case rc == rb && v.Occupancy(c) < v.Occupancy(best):
+			best = c
+		}
+	}
+	return best, found
+}
+
+var _ machine.SteerPolicy = (*ReadyBalance)(nil)

@@ -1,0 +1,61 @@
+package steer_test
+
+import (
+	"testing"
+
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+	"clustersim/internal/xrand"
+)
+
+func TestReadyBalanceRunsWorkloads(t *testing.T) {
+	tr, _ := workload.Generate("eon", 6000, 1)
+	pol := steer.NewReadyBalance()
+	if pol.Name() != "readybalance" {
+		t.Fatalf("name = %q", pol.Name())
+	}
+	hooks := machine.Hooks{
+		Binary: predictor.NewDefaultBinary(),
+		LoC:    predictor.NewDefaultLoC(xrand.New(1)),
+	}
+	m, res := runPolicy(t, 8, tr, pol, hooks)
+	if res.Insts != int64(tr.Len()) {
+		t.Fatal("incomplete run")
+	}
+	// All clusters should see work: readiness-balancing spreads at least
+	// as widely as occupancy-balancing.
+	used := map[int16]bool{}
+	for _, e := range m.Events() {
+		used[e.Cluster] = true
+	}
+	if len(used) < 4 {
+		t.Fatalf("readybalance used only %d clusters", len(used))
+	}
+}
+
+func TestReadyBalanceStaysNearProactive(t *testing.T) {
+	// The extension must not blow up relative to its base policy.
+	tr, _ := workload.Generate("gzip", 8000, 2)
+	hooksA := machine.Hooks{LoC: predictor.NewDefaultLoC(xrand.New(9))}
+	hooksB := machine.Hooks{LoC: predictor.NewDefaultLoC(xrand.New(9))}
+	_, pro := runPolicy(t, 8, tr, steer.NewProactive(), hooksA)
+	_, rb := runPolicy(t, 8, tr, steer.NewReadyBalance(), hooksB)
+	ratio := float64(rb.Cycles) / float64(pro.Cycles)
+	if ratio > 1.1 || ratio < 0.9 {
+		t.Fatalf("readybalance/proactive cycle ratio %.3f", ratio)
+	}
+}
+
+func TestBaseNotificationsAreNoOps(t *testing.T) {
+	// The Base embedding must be callable directly (policies without
+	// state rely on it).
+	var b steer.Base
+	b.OnIssue(0, 0)
+	b.OnCommit(0, nil)
+	b.Reset()
+	var p steer.Proactive
+	p.Reset()
+	p.OnIssue(1, 2)
+}

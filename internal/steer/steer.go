@@ -1,0 +1,185 @@
+// Package steer implements the paper's instruction steering policies:
+//
+//   - DepBased: dependence-based steering (Kemp & Franklin's PEWs
+//     heuristic): collocate a consumer with an outstanding producer,
+//     falling back to the least-loaded cluster.
+//   - Focused: Fields et al.'s focused steering — dependence-based, but
+//     preferring the cluster holding a predicted-critical producer. Used
+//     with SchedBinaryCritical, this is the paper's "state of the art"
+//     baseline (Section 2.3).
+//   - LoC: focused steering driven by the likelihood-of-criticality
+//     predictor instead of the binary one (Section 4, the "l" bars).
+//   - StallOverSteer: LoC steering that stalls, rather than load-
+//     balances, instructions whose LoC exceeds a threshold when their
+//     desired cluster is full (Section 5, the "s" bars).
+//   - Proactive: adds proactive load-balancing — consumers learned to be
+//     less critical than their producer's most critical consumer are
+//     pushed away from the producer to keep room (Section 6, "p" bars).
+package steer
+
+import (
+	"clustersim/internal/machine"
+)
+
+// Base supplies no-op notification methods for stateless policies.
+type Base struct{}
+
+// OnIssue implements machine.SteerPolicy.
+func (Base) OnIssue(seq int64, cluster int) {}
+
+// OnCommit implements machine.SteerPolicy.
+func (Base) OnCommit(seq int64, view *machine.RetireView) {}
+
+// Reset implements machine.SteerPolicy.
+func (Base) Reset() {}
+
+// pickDesired returns the index within prods of the producer the policy
+// wants to collocate with, given a scoring function (higher wins; first
+// outstanding producer wins ties), plus the steering tag describing the
+// dataflow situation. ok is false when no producer is outstanding.
+func pickDesired(v *machine.SteerView, score func(p machine.ProducerInfo) int) (best machine.ProducerInfo, tag machine.SteerTag, ok bool) {
+	prods := v.Producers()
+	bestScore := -1
+	clusters := map[int]bool{}
+	for _, p := range prods {
+		if !p.Outstanding || !p.Placed() {
+			continue
+		}
+		clusters[p.Cluster] = true
+		if s := score(p); s > bestScore {
+			bestScore = s
+			best = p
+			ok = true
+		}
+	}
+	switch {
+	case !ok:
+		tag = machine.SteerNoPref
+	case len(clusters) > 1:
+		// Producers live in several clusters: some operand must cross
+		// clusters regardless of the choice (the Figure 3 dyadic case).
+		tag = machine.SteerDyadic
+	default:
+		tag = machine.SteerLocal
+	}
+	return best, tag, ok
+}
+
+// leastLoadedWithSpace returns the least-occupied cluster that can accept
+// an instruction, or (0, false) if every window is full.
+func leastLoadedWithSpace(v *machine.SteerView) (int, bool) {
+	best, bestOcc, found := 0, 0, false
+	for c := 0; c < v.Clusters(); c++ {
+		if !v.HasSpace(c) {
+			continue
+		}
+		if occ := v.Occupancy(c); !found || occ < bestOcc {
+			best, bestOcc, found = c, occ, true
+		}
+	}
+	return best, found
+}
+
+// steerDependence implements the shared dependence-based skeleton: go to
+// the desired producer's cluster if it has space, otherwise load-balance;
+// stall only when every window is full.
+func steerDependence(v *machine.SteerView, score func(p machine.ProducerInfo) int) machine.Decision {
+	desired, tag, ok := pickDesired(v, score)
+	if !ok {
+		lb, space := leastLoadedWithSpace(v)
+		if !space {
+			return machine.Decision{Cluster: 0, Stall: true, Tag: machine.SteerNoPref}
+		}
+		return machine.Decision{Cluster: lb, Tag: machine.SteerNoPref}
+	}
+	if v.HasSpace(desired.Cluster) {
+		return machine.Decision{Cluster: desired.Cluster, Tag: tag}
+	}
+	// Desired cluster full: the baseline policies load-balance (the
+	// behavior Section 5 identifies as the dominant source of critical
+	// forwarding delay).
+	lb, space := leastLoadedWithSpace(v)
+	if !space {
+		return machine.Decision{Cluster: desired.Cluster, Stall: true, Tag: tag}
+	}
+	return machine.Decision{Cluster: lb, Tag: machine.SteerLoadBalanced}
+}
+
+// DepBased is plain dependence-based steering with load-balance fallback.
+type DepBased struct{ Base }
+
+// Name implements machine.SteerPolicy.
+func (DepBased) Name() string { return "depbased" }
+
+// Steer implements machine.SteerPolicy.
+func (DepBased) Steer(v *machine.SteerView) machine.Decision {
+	return steerDependence(v, func(p machine.ProducerInfo) int { return 0 })
+}
+
+// Focused is Fields et al.'s focused steering: among outstanding
+// producers, prefer one predicted critical by the binary predictor.
+type Focused struct{ Base }
+
+// Name implements machine.SteerPolicy.
+func (Focused) Name() string { return "focused" }
+
+// Steer implements machine.SteerPolicy.
+func (Focused) Steer(v *machine.SteerView) machine.Decision {
+	return steerDependence(v, func(p machine.ProducerInfo) int {
+		if v.PredCritical(p.PC) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// LoC steers toward the producer with the highest likelihood of
+// criticality (Section 4's refinement of focused steering).
+type LoC struct{ Base }
+
+// Name implements machine.SteerPolicy.
+func (LoC) Name() string { return "loc" }
+
+// Steer implements machine.SteerPolicy.
+func (LoC) Steer(v *machine.SteerView) machine.Decision {
+	return steerDependence(v, v.LoCLevelOf)
+}
+
+// DefaultStallThreshold is the LoC fraction above which stall-over-steer
+// stalls rather than load-balances (Section 5: "stalling instructions
+// with an LoC exceeding a 30% threshold strikes a good balance").
+const DefaultStallThreshold = 0.30
+
+// StallOverSteer is LoC steering plus Section 5's selective stalling:
+// when an execute-critical instruction's desired cluster is full, hold
+// steering until space opens instead of spreading the critical chain.
+type StallOverSteer struct {
+	Base
+	// Threshold is the stalling LoC fraction; zero means
+	// DefaultStallThreshold.
+	Threshold float64
+}
+
+// Name implements machine.SteerPolicy.
+func (*StallOverSteer) Name() string { return "stall-over-steer" }
+
+// Steer implements machine.SteerPolicy.
+func (s *StallOverSteer) Steer(v *machine.SteerView) machine.Decision {
+	thr := s.Threshold
+	if thr == 0 {
+		thr = DefaultStallThreshold
+	}
+	desired, tag, ok := pickDesired(v, v.LoCLevelOf)
+	if ok && !v.HasSpace(desired.Cluster) && v.LoCFrac(v.Inst().PC) >= thr {
+		// Execute-critical consumer of a full cluster: stall.
+		return machine.Decision{Cluster: desired.Cluster, Stall: true, Tag: tag}
+	}
+	return steerDependence(v, v.LoCLevelOf)
+}
+
+var (
+	_ machine.SteerPolicy = DepBased{}
+	_ machine.SteerPolicy = Focused{}
+	_ machine.SteerPolicy = LoC{}
+	_ machine.SteerPolicy = (*StallOverSteer)(nil)
+)

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"clustersim/internal/isa"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte "CTR1"
+//	count   uint64 (little endian)
+//	records count × 19 bytes:
+//	    pc    uint64
+//	    addr  uint64
+//	    src0  uint8
+//	    src1  uint8
+//	    dst   uint8
+//	    op    uint8 (must be < NumOps)
+//	    flags uint8 (bit 0: taken)
+//
+// Dependence annotations are derived data and are recomputed on load.
+
+var magic = [4]byte{'C', 'T', 'R', '1'}
+
+const recordSize = 8 + 8 + 5
+
+// Write encodes the trace to w.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Insts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		binary.LittleEndian.PutUint64(rec[0:], in.PC)
+		binary.LittleEndian.PutUint64(rec[8:], in.Addr)
+		rec[16] = byte(in.Src[0])
+		rec[17] = byte(in.Src[1])
+		rec[18] = byte(in.Dst)
+		rec[19] = byte(in.Op)
+		var flags byte
+		if in.Taken {
+			flags |= 1
+		}
+		rec[20] = flags
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from r and recomputes dependence annotations.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxCount = 1 << 31
+	if count > maxCount {
+		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+	}
+	// Do not trust the header for the allocation size: grow as records
+	// actually arrive, so a corrupt count fails on truncation instead of
+	// exhausting memory.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	insts := make([]isa.Inst, 0, capHint)
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		op := isa.Op(rec[19])
+		if op >= isa.NumOps {
+			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, rec[19])
+		}
+		insts = append(insts, isa.Inst{
+			PC:    binary.LittleEndian.Uint64(rec[0:]),
+			Addr:  binary.LittleEndian.Uint64(rec[8:]),
+			Src:   [2]isa.Reg{isa.Reg(rec[16]), isa.Reg(rec[17])},
+			Dst:   isa.Reg(rec[18]),
+			Op:    op,
+			Taken: rec[20]&1 != 0,
+		})
+	}
+	return Rebuild(insts), nil
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hammers the trace decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must round-trip and validate.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and some corruptions of it.
+	b := NewBuilder(0)
+	for i := 0; i < 20; i++ {
+		b.Append(mkInst(1, 2, 1))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Trace()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CTR1"))
+	trunc := make([]byte, len(valid)-3)
+	copy(trunc, valid)
+	f.Add(trunc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil || tr2.Len() != tr.Len() {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package trace provides the dynamic instruction trace substrate: an
+// append-only container of committed instructions annotated with true
+// dataflow dependences (register last-writer and store-to-load), plus a
+// binary codec and summary statistics.
+//
+// The timing simulator, the critical-path analyzer and the idealized list
+// scheduler all consume Traces; the workload package produces them.
+package trace
+
+import (
+	"fmt"
+
+	"clustersim/internal/isa"
+)
+
+// None marks an absent dependence in DepInfo.
+const None int32 = -1
+
+// DepInfo records, for one dynamic instruction, the index of the producer
+// of each source operand and (for loads) of the youngest older store to the
+// same address. The paper's machine has perfect memory disambiguation, so
+// the store→load edge is the only memory ordering a load observes.
+type DepInfo struct {
+	Src [2]int32 // producing instruction index per source operand, or None
+	Mem int32    // forwarding store index (loads only), or None
+}
+
+// Trace is a sequence of committed dynamic instructions with dependence
+// annotations. Insts and Deps are parallel slices.
+type Trace struct {
+	Insts []isa.Inst
+	Deps  []DepInfo
+}
+
+// Len returns the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// Producers appends to dst the indices of the instructions whose results
+// instruction i consumes (register sources and, for loads, the forwarding
+// store), and returns the extended slice. Absent dependences are skipped.
+func (t *Trace) Producers(i int, dst []int32) []int32 {
+	d := &t.Deps[i]
+	for _, p := range d.Src {
+		if p != None {
+			dst = append(dst, p)
+		}
+	}
+	if d.Mem != None {
+		dst = append(dst, d.Mem)
+	}
+	return dst
+}
+
+// Builder incrementally constructs a Trace, computing dependence
+// annotations as instructions are appended.
+type Builder struct {
+	tr         Trace
+	lastWriter [isa.NumRegs]int32
+	lastStore  map[uint64]int32 // cache-line-free exact address matching
+}
+
+// NewBuilder returns an empty Builder. capHint pre-sizes the instruction
+// storage (pass 0 if unknown).
+func NewBuilder(capHint int) *Builder {
+	b := &Builder{lastStore: make(map[uint64]int32)}
+	for i := range b.lastWriter {
+		b.lastWriter[i] = None
+	}
+	if capHint > 0 {
+		b.tr.Insts = make([]isa.Inst, 0, capHint)
+		b.tr.Deps = make([]DepInfo, 0, capHint)
+	}
+	return b
+}
+
+// Append adds one dynamic instruction and records its dependences.
+func (b *Builder) Append(in isa.Inst) {
+	idx := int32(len(b.tr.Insts))
+	var d DepInfo
+	d.Mem = None
+	for s := 0; s < 2; s++ {
+		d.Src[s] = None
+		if in.Src[s].Valid() {
+			d.Src[s] = b.lastWriter[in.Src[s]]
+		}
+	}
+	switch in.Op {
+	case isa.Load:
+		if st, ok := b.lastStore[in.Addr]; ok {
+			d.Mem = st
+		}
+	case isa.Store:
+		b.lastStore[in.Addr] = idx
+	}
+	if in.Dst.Valid() {
+		b.lastWriter[in.Dst] = idx
+	}
+	b.tr.Insts = append(b.tr.Insts, in)
+	b.tr.Deps = append(b.tr.Deps, d)
+}
+
+// Len returns the number of instructions appended so far.
+func (b *Builder) Len() int { return len(b.tr.Insts) }
+
+// Trace returns the built trace. The Builder must not be used afterwards.
+func (b *Builder) Trace() *Trace {
+	t := b.tr
+	b.tr = Trace{}
+	return &t
+}
+
+// Rebuild recomputes dependence annotations from the instruction stream.
+// It is used by the codec (dependences are derived data and not stored on
+// disk) and by tests to validate Builder incrementality.
+func Rebuild(insts []isa.Inst) *Trace {
+	b := NewBuilder(len(insts))
+	for _, in := range insts {
+		b.Append(in)
+	}
+	return b.Trace()
+}
+
+// Validate checks structural invariants: dependence indices are in range
+// and strictly older than their consumer, memory dependences connect a
+// store to a load at the same address, and register dependences name a
+// producer that actually writes the consumed register.
+func (t *Trace) Validate() error {
+	if len(t.Insts) != len(t.Deps) {
+		return fmt.Errorf("trace: %d insts but %d dep records", len(t.Insts), len(t.Deps))
+	}
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		d := &t.Deps[i]
+		for s := 0; s < 2; s++ {
+			p := d.Src[s]
+			if p == None {
+				continue
+			}
+			if p < 0 || int(p) >= i {
+				return fmt.Errorf("trace: inst %d src%d dep %d out of order", i, s, p)
+			}
+			if !in.Src[s].Valid() {
+				return fmt.Errorf("trace: inst %d has dep on absent src%d", i, s)
+			}
+			if t.Insts[p].Dst != in.Src[s] {
+				return fmt.Errorf("trace: inst %d src%d r%d produced by inst %d writing r%d",
+					i, s, in.Src[s], p, t.Insts[p].Dst)
+			}
+		}
+		if d.Mem != None {
+			if in.Op != isa.Load {
+				return fmt.Errorf("trace: inst %d (%s) has mem dep", i, in.Op)
+			}
+			p := d.Mem
+			if p < 0 || int(p) >= i {
+				return fmt.Errorf("trace: inst %d mem dep %d out of order", i, p)
+			}
+			if t.Insts[p].Op != isa.Store || t.Insts[p].Addr != in.Addr {
+				return fmt.Errorf("trace: inst %d mem dep %d is not a matching store", i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace's operation mix.
+type Stats struct {
+	Count    [isa.NumOps]int
+	Total    int
+	Branches int
+	Taken    int
+}
+
+// Summarize computes op-mix statistics.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	s.Total = len(t.Insts)
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		s.Count[in.Op]++
+		if in.Op.IsBranch() {
+			s.Branches++
+			if in.Taken {
+				s.Taken++
+			}
+		}
+	}
+	return s
+}
+
+// Frac returns the fraction of instructions with operation op.
+func (s Stats) Frac(op isa.Op) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Count[op]) / float64(s.Total)
+}

@@ -1,0 +1,428 @@
+package workload
+
+import (
+	"clustersim/internal/isa"
+	"clustersim/internal/xrand"
+)
+
+// Archetype implementations. Each instance owns disjoint registers, a
+// disjoint static PC range, and disjoint data regions, so profiles can mix
+// instances freely. Every archetype keeps its static PCs stable across
+// iterations: the machine's PC-indexed predictors depend on that.
+
+// dataRegion derives a private data-address base from a PC base.
+func dataRegion(pcBase uint64) uint64 { return 0x10000000 + pcBase*64 }
+
+// SpineRib models the vpr loop of Figure 7: a dominant spine computing a
+// loop-carried dependence, with ribs periodically diverging from it that
+// terminate in stores and a hard-to-predict branch. The rib head (the
+// paper's instruction "a") and the next spine op ("b") consume the same
+// source register, so dependence-based steering routes them to the same
+// cluster where they contend — the paper's canonical contention example.
+type SpineRib struct {
+	pcBase     uint64
+	spineDepth int     // dependent spine ops per iteration (recurrence length)
+	ribLen     int     // dependent ops in each rib
+	ribTakenP  float64 // rib branch taken-probability (≈0.5 → hard to predict)
+	sregs      []isa.Reg
+	rregs      []isa.Reg
+	t0         isa.Reg
+	load       Stream
+	store      Stream
+}
+
+// NewSpineRib constructs a spine-and-ribs loop.
+func NewSpineRib(pcBase uint64, ra *RegAlloc, spineDepth, ribLen int, ribTakenP float64, workingSet uint64) *SpineRib {
+	if spineDepth < 1 || ribLen < 1 {
+		panic("workload: SpineRib needs positive depths")
+	}
+	base := dataRegion(pcBase)
+	return &SpineRib{
+		pcBase:     pcBase,
+		spineDepth: spineDepth,
+		ribLen:     ribLen,
+		ribTakenP:  ribTakenP,
+		sregs:      ra.Take(spineDepth),
+		rregs:      ra.Take(ribLen),
+		t0:         ra.Take(1)[0],
+		load:       Stream{Base: base, Size: workingSet, Stride: 8},
+		store:      Stream{Base: base + workingSet, Size: workingSet, Stride: 8},
+	}
+}
+
+// EmitIteration emits one loop iteration.
+func (s *SpineRib) EmitIteration(e *Emitter) {
+	pc := s.pcBase
+	// Spine feed: an independent streaming load, fully off the
+	// recurrence, so a good schedule can overlap it with the spine.
+	e.Load(pc, s.t0, isa.NoReg, s.load.Next())
+	pc += 4
+	// Spine: a chain of dependent ops carrying the loop dependence. The
+	// first consumes last iteration's final spine value plus the load.
+	prev := s.sregs[len(s.sregs)-1]
+	for i, r := range s.sregs {
+		if i == 0 {
+			e.Op(pc, isa.IntALU, r, prev, s.t0)
+		} else {
+			e.Op(pc, isa.IntALU, r, s.sregs[i-1])
+		}
+		pc += 4
+	}
+	// Rib: diverges from the same register the next spine op consumes.
+	spineHead := s.sregs[0]
+	for i, r := range s.rregs {
+		if i == 0 {
+			e.Op(pc, isa.IntALU, r, spineHead) // instruction "a"
+		} else {
+			e.Op(pc, isa.IntALU, r, s.rregs[i-1])
+		}
+		pc += 4
+	}
+	last := s.rregs[len(s.rregs)-1]
+	e.Branch(pc, last, e.Rng().Bool(s.ribTakenP)) // the mispredicting rib branch
+	pc += 4
+	e.Store(pc, last, spineHead, s.store.Next())
+}
+
+// Convergent models the bzip2 dataflow of Figure 3: two load-fed chains
+// with no slack converging at a dyadic operation that feeds a
+// hard-to-predict branch.
+type Convergent struct {
+	pcBase   uint64
+	chainLen int
+	takenP   float64
+	xs, ys   []isa.Reg
+	z        isa.Reg
+	sa, sb   Stream
+}
+
+// NewConvergent constructs a convergent-dataflow kernel.
+func NewConvergent(pcBase uint64, ra *RegAlloc, chainLen int, takenP float64, workingSet uint64) *Convergent {
+	if chainLen < 1 {
+		panic("workload: Convergent needs positive chain length")
+	}
+	base := dataRegion(pcBase)
+	return &Convergent{
+		pcBase:   pcBase,
+		chainLen: chainLen,
+		takenP:   takenP,
+		xs:       ra.Take(chainLen),
+		ys:       ra.Take(chainLen),
+		z:        ra.Take(1)[0],
+		sa:       Stream{Base: base, Size: workingSet, Stride: 8},
+		sb:       Stream{Base: base + workingSet, Size: workingSet, Stride: 8},
+	}
+}
+
+// EmitIteration emits one convergence: two chains, a dyadic join, a branch.
+func (c *Convergent) EmitIteration(e *Emitter) {
+	pc := c.pcBase
+	e.Load(pc, c.xs[0], isa.NoReg, c.sa.Next())
+	pc += 4
+	e.Load(pc, c.ys[0], isa.NoReg, c.sb.Next())
+	pc += 4
+	for i := 1; i < c.chainLen; i++ {
+		e.Op(pc, isa.IntALU, c.xs[i], c.xs[i-1])
+		pc += 4
+		e.Op(pc, isa.IntALU, c.ys[i], c.ys[i-1])
+		pc += 4
+	}
+	e.Op(pc, isa.IntALU, c.z, c.xs[c.chainLen-1], c.ys[c.chainLen-1]) // the dyadic join (xor)
+	pc += 4
+	e.Branch(pc, c.z, e.Rng().Bool(c.takenP))
+}
+
+// Hammock models divergence-then-reconvergence on the critical path: one
+// producer feeds two parallel chains of consumers that converge at a
+// dyadic consumer, which carries the loop dependence (Section 2.2's vpr
+// "dataflow hammocks"). On 1-wide clusters the two chains either contend
+// at one cluster or pay forwarding at the join — the fundamental case.
+type Hammock struct {
+	pcBase   uint64
+	chainLen int
+	useFP    bool
+	h        isa.Reg
+	c1, c2   []isa.Reg
+	takenP   float64
+}
+
+// NewHammock constructs a hammock kernel. If useFP is true the chains are
+// floating-point, exercising the FP ports.
+func NewHammock(pcBase uint64, ra *RegAlloc, chainLen int, useFP bool, takenP float64) *Hammock {
+	if chainLen < 1 {
+		panic("workload: Hammock needs positive chain length")
+	}
+	return &Hammock{
+		pcBase:   pcBase,
+		chainLen: chainLen,
+		useFP:    useFP,
+		h:        ra.Take(1)[0],
+		c1:       ra.Take(chainLen),
+		c2:       ra.Take(chainLen),
+		takenP:   takenP,
+	}
+}
+
+// EmitIteration emits one hammock.
+func (h *Hammock) EmitIteration(e *Emitter) {
+	op := isa.IntALU
+	if h.useFP {
+		op = isa.FPAdd
+	}
+	pc := h.pcBase
+	for i := 0; i < h.chainLen; i++ {
+		var src isa.Reg
+		if i == 0 {
+			src = h.h
+		} else {
+			src = h.c1[i-1]
+		}
+		e.Op(pc, op, h.c1[i], src)
+		pc += 4
+		if i == 0 {
+			src = h.h
+		} else {
+			src = h.c2[i-1]
+		}
+		e.Op(pc, op, h.c2[i], src)
+		pc += 4
+	}
+	// Reconvergence carries the loop dependence.
+	e.Op(pc, isa.IntALU, h.h, h.c1[h.chainLen-1], h.c2[h.chainLen-1])
+	pc += 4
+	e.Branch(pc, h.h, e.Rng().Bool(h.takenP))
+}
+
+// DivergentLoop models Figure 12's early-exit search loop: two separate
+// loop-carried dependences (a counter and a pointer) from which the body's
+// consumers diverge, terminated by a data-dependent early-exit branch that
+// is unpredictable precisely when it matters.
+type DivergentLoop struct {
+	pcBase          uint64
+	i, a, v, c1, c2 isa.Reg
+	avgIters        int
+	remaining       int
+	load            Stream
+}
+
+// NewDivergentLoop constructs the search loop; each search runs a
+// geometrically-distributed number of iterations with mean avgIters before
+// the early exit fires.
+func NewDivergentLoop(pcBase uint64, ra *RegAlloc, avgIters int, workingSet uint64) *DivergentLoop {
+	if avgIters < 2 {
+		panic("workload: DivergentLoop needs avgIters >= 2")
+	}
+	r := ra.Take(5)
+	return &DivergentLoop{
+		pcBase: pcBase,
+		i:      r[0], a: r[1], v: r[2], c1: r[3], c2: r[4],
+		avgIters: avgIters,
+		load:     Stream{Base: dataRegion(pcBase), Size: workingSet, Stride: 4},
+	}
+}
+
+// EmitIteration emits one iteration of the Alpha loop in Figure 12(b):
+//
+//	L7: addl $4,1,$4 ; ldl $7,0($2) ; cmple $4,$5,$3 ; lda $2,4($2)
+//	    cmpeq $7,$0,$6 ; bne $6,L3 ; bne $3,L7
+func (d *DivergentLoop) EmitIteration(e *Emitter) {
+	if d.remaining <= 0 {
+		d.remaining = e.Rng().Geometric(1 / float64(d.avgIters))
+	}
+	d.remaining--
+	exit := d.remaining == 0
+
+	pc := d.pcBase
+	e.Op(pc, isa.IntALU, d.i, d.i) // addl: counter recurrence
+	pc += 4
+	e.Load(pc, d.v, d.a, d.load.Next()) // ldl via pointer
+	pc += 4
+	e.Op(pc, isa.IntALU, d.c1, d.i) // cmple off the counter
+	pc += 4
+	e.Op(pc, isa.IntALU, d.a, d.a) // lda: pointer recurrence
+	pc += 4
+	e.Op(pc, isa.IntALU, d.c2, d.v) // cmpeq off the loaded value
+	pc += 4
+	e.Branch(pc, d.c2, exit) // early exit: taken once per search, data-dependent
+	pc += 4
+	e.Branch(pc, d.c1, !exit) // loop-back: almost always taken
+}
+
+// PointerChase models mcf: a load-to-load dependent chain walking a heap
+// far larger than the L1, so the recurrence is dominated by memory
+// latency. ILP is minimal and the program is execute- (memory-) critical.
+type PointerChase struct {
+	pcBase  uint64
+	p, a1   isa.Reg
+	chase   *Chase
+	workPer int
+	wregs   []isa.Reg
+}
+
+// NewPointerChase constructs a chase over a region of the given size, with
+// workPer cheap dependent ops hanging off each loaded pointer.
+func NewPointerChase(pcBase uint64, ra *RegAlloc, size uint64, workPer int, rng *xrand.Rand) *PointerChase {
+	r := ra.Take(2)
+	return &PointerChase{
+		pcBase:  pcBase,
+		p:       r[0],
+		a1:      r[1],
+		chase:   NewChase(dataRegion(pcBase), size, rng),
+		workPer: workPer,
+		wregs:   ra.Take(max(workPer, 1)),
+	}
+}
+
+// EmitIteration emits one pointer dereference plus its hanging work.
+func (p *PointerChase) EmitIteration(e *Emitter) {
+	pc := p.pcBase
+	e.Load(pc, p.p, p.p, p.chase.Next()) // p = *p: the chain
+	pc += 4
+	for i := 0; i < p.workPer; i++ {
+		src := p.p
+		if i > 0 {
+			src = p.wregs[i-1]
+		}
+		e.Op(pc, isa.IntALU, p.wregs[i], src)
+		pc += 4
+	}
+	e.Op(pc, isa.IntALU, p.a1, p.p)
+	pc += 4
+	e.Branch(pc, p.a1, e.Rng().Bool(0.02)) // loop-back style, predictable
+}
+
+// WideChains models high-ILP code (eon, gap, vortex): many independent
+// dependence chains advanced round-robin, periodically re-seeded from
+// loads and drained to stores, with well-predicted branches. Available ILP
+// approximates the chain count.
+type WideChains struct {
+	pcBase      uint64
+	regs        []isa.Reg
+	ops         []isa.Op
+	load        Stream
+	store       Stream
+	step        int
+	reseedEvery int
+	branchEvery int
+}
+
+// NewWideChains constructs k independent chains; mix selects the op used
+// by each chain in rotation (defaults to IntALU when empty).
+func NewWideChains(pcBase uint64, ra *RegAlloc, k int, mix []isa.Op, workingSet uint64) *WideChains {
+	if k < 1 {
+		panic("workload: WideChains needs k >= 1")
+	}
+	if len(mix) == 0 {
+		mix = []isa.Op{isa.IntALU}
+	}
+	ops := make([]isa.Op, k)
+	for i := range ops {
+		ops[i] = mix[i%len(mix)]
+	}
+	base := dataRegion(pcBase)
+	return &WideChains{
+		pcBase:      pcBase,
+		regs:        ra.Take(k),
+		ops:         ops,
+		load:        Stream{Base: base, Size: workingSet, Stride: 8},
+		store:       Stream{Base: base + workingSet, Size: workingSet, Stride: 8},
+		reseedEvery: 8,
+		branchEvery: 6,
+	}
+}
+
+// EmitIteration advances every chain by one operation; chains are
+// periodically reseeded by a load or drained by a store/branch.
+func (w *WideChains) EmitIteration(e *Emitter) {
+	w.step++
+	pc := w.pcBase
+	for i, r := range w.regs {
+		switch {
+		case (w.step+i)%w.reseedEvery == 0:
+			e.Load(pc, r, r, w.load.Next())
+		case (w.step+i)%w.reseedEvery == w.reseedEvery/2:
+			e.Store(pc+4, r, r, w.store.Next())
+		default:
+			e.Op(pc+8, w.ops[i], r, r)
+		}
+		pc += 12
+	}
+	if w.step%w.branchEvery == 0 {
+		e.Branch(pc, w.regs[0], e.Rng().Bool(0.97)) // highly biased: predictable
+	}
+}
+
+// IrregularControl models branchy integer code (gcc, perl, crafty): short
+// dependence chains punctuated by many static branches with per-branch
+// biases, yielding realistic gshare accuracy and a large static footprint.
+type IrregularControl struct {
+	pcBase    uint64
+	regs      []isa.Reg
+	biases    []float64
+	branchIdx int
+	chainLen  int
+	load      Stream
+	store     Stream
+	loadEvery int
+	step      int
+}
+
+// NewIrregularControl constructs a kernel with nBranches static branches
+// whose biases are drawn from [0.55, 0.98], and chains of length chainLen
+// between branches.
+func NewIrregularControl(pcBase uint64, ra *RegAlloc, nBranches, chainLen int, workingSet uint64, rng *xrand.Rand) *IrregularControl {
+	if nBranches < 1 || chainLen < 1 {
+		panic("workload: IrregularControl needs positive sizes")
+	}
+	biases := make([]float64, nBranches)
+	for i := range biases {
+		biases[i] = 0.75 + 0.24*rng.Float64()
+	}
+	base := dataRegion(pcBase)
+	return &IrregularControl{
+		pcBase:    pcBase,
+		regs:      ra.Take(chainLen),
+		biases:    biases,
+		chainLen:  chainLen,
+		load:      Stream{Base: base, Size: workingSet, Stride: 8},
+		store:     Stream{Base: base + workingSet, Size: workingSet, Stride: 16},
+		loadEvery: 3,
+	}
+}
+
+// EmitIteration emits one block: an optional load, a short chain, a store
+// every few blocks, and one of the static branches.
+func (ic *IrregularControl) EmitIteration(e *Emitter) {
+	ic.step++
+	b := ic.branchIdx
+	ic.branchIdx = (ic.branchIdx + 1) % len(ic.biases)
+	// Give each static branch its own surrounding block PCs.
+	pc := ic.pcBase + uint64(b)*64
+
+	// Slot 0 is a load that periodically re-seeds the chain's tail
+	// register; every slot has a fixed op so static decode is stable.
+	if ic.step%ic.loadEvery == 0 {
+		e.Load(pc, ic.regs[ic.chainLen-1], ic.regs[0], ic.load.Next())
+	}
+	pc += 4
+	e.Op(pc, isa.IntALU, ic.regs[0], ic.regs[ic.chainLen-1])
+	pc += 4
+	for i := 1; i < ic.chainLen; i++ {
+		e.Op(pc, isa.IntALU, ic.regs[i], ic.regs[i-1])
+		pc += 4
+	}
+	// The store and branch occupy fixed slots so static PCs stay stable
+	// whether or not the store is emitted this time around.
+	if ic.step%5 == 0 {
+		e.Store(pc, ic.regs[ic.chainLen-1], ic.regs[0], ic.store.Next())
+	}
+	pc += 4
+	e.Branch(pc, ic.regs[ic.chainLen-1], e.Rng().Bool(ic.biases[b]))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

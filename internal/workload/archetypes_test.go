@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/trace"
+	"clustersim/internal/xrand"
+)
+
+func emitN(a Archetype, iters int, seed uint64) *trace.Trace {
+	e := &Emitter{b: trace.NewBuilder(0), rng: xrand.New(seed)}
+	for i := 0; i < iters; i++ {
+		a.EmitIteration(e)
+	}
+	return e.b.Trace()
+}
+
+func TestConvergentShape(t *testing.T) {
+	ra := NewRegAlloc()
+	c := NewConvergent(0x1000, ra, 3, 0.5, residentWS)
+	tr := emitN(c, 20, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: 2 loads, 2*(len-1) chain ops, a dyadic join, a branch.
+	joins := 0
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		if in.Op == isa.IntALU && in.NumSrcs() == 2 {
+			joins++
+			// The join's two producers must be the tails of two distinct
+			// load-fed chains.
+			ps := tr.Producers(i, nil)
+			if len(ps) != 2 || ps[0] == ps[1] {
+				t.Fatalf("join %d producers: %v", i, ps)
+			}
+		}
+	}
+	if joins != 20 {
+		t.Fatalf("joins = %d, want one per iteration", joins)
+	}
+}
+
+func TestHammockShape(t *testing.T) {
+	ra := NewRegAlloc()
+	h := NewHammock(0x2000, ra, 3, false, 0.9)
+	tr := emitN(h, 10, 2)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The reconvergence (dyadic join writing h.h) must consume values
+	// from two chains that both descend from the previous join.
+	var prevJoin int32 = -1
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		if in.Op != isa.IntALU || in.NumSrcs() != 2 {
+			continue
+		}
+		if prevJoin >= 0 {
+			// Walk each producer chain back: both should reach prevJoin.
+			for _, p := range tr.Producers(i, nil) {
+				q := p
+				for {
+					ps := tr.Producers(int(q), nil)
+					if len(ps) == 0 {
+						t.Fatalf("join %d chain via %d does not reach previous join", i, p)
+					}
+					q = ps[0]
+					if q == prevJoin {
+						break
+					}
+				}
+			}
+		}
+		prevJoin = int32(i)
+	}
+	if prevJoin < 0 {
+		t.Fatal("no hammock joins found")
+	}
+}
+
+func TestPointerChaseChains(t *testing.T) {
+	ra := NewRegAlloc()
+	p := NewPointerChase(0x3000, ra, 1<<20, 2, xrand.New(3))
+	tr := emitN(p, 30, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every load (after the first) must depend on the previous load —
+	// the load-to-load recurrence that makes mcf memory-bound.
+	var prevLoad int32 = -1
+	for i := range tr.Insts {
+		if tr.Insts[i].Op != isa.Load {
+			continue
+		}
+		if prevLoad >= 0 {
+			ps := tr.Producers(i, nil)
+			found := false
+			for _, q := range ps {
+				if q == prevLoad {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("load %d does not chain from load %d", i, prevLoad)
+			}
+		}
+		prevLoad = int32(i)
+	}
+	if prevLoad < 0 {
+		t.Fatal("no loads emitted")
+	}
+}
+
+func TestWideChainsIndependence(t *testing.T) {
+	ra := NewRegAlloc()
+	w := NewWideChains(0x4000, ra, 6, nil, residentWS)
+	tr := emitN(w, 50, 5)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each chain register's dataflow must stay within its own register:
+	// no instruction consumes one chain register and writes another.
+	chainRegs := map[isa.Reg]bool{}
+	for _, r := range w.regs {
+		chainRegs[r] = true
+	}
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		if !in.HasDst() || !chainRegs[in.Dst] {
+			continue
+		}
+		for _, s := range in.Src {
+			if s.Valid() && chainRegs[s] && s != in.Dst {
+				t.Fatalf("inst %d mixes chains: %v", i, in)
+			}
+		}
+	}
+}
+
+func TestSpineRibStablePCsAcrossIterations(t *testing.T) {
+	ra := NewRegAlloc()
+	s := NewSpineRib(0x5000, ra, 3, 2, 0.5, residentWS)
+	a := emitN(s, 5, 7)
+	pcs := map[uint64]bool{}
+	for i := range a.Insts {
+		pcs[a.Insts[i].PC] = true
+	}
+	// load + 3 spine + 2 rib + branch + store = 8 static instructions.
+	if len(pcs) != 8 {
+		t.Fatalf("static PCs = %d, want 8", len(pcs))
+	}
+}

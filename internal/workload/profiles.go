@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"clustersim/internal/isa"
+	"clustersim/internal/xrand"
+)
+
+// The twelve benchmark profiles, named after the SPEC CPU2000 integer
+// suite the paper uses. Each composes dataflow archetypes with parameters
+// chosen to reflect the benchmark's published character (branch
+// predictability, memory behavior, available ILP) and, where the paper
+// shows a benchmark-specific code sample, that sample's structure:
+//
+//   - vpr:    spine-and-ribs with a hard rib branch (Fig. 7) + hammocks
+//   - bzip2:  convergent dataflow into dyadic joins (Fig. 3)
+//   - mcf:    pointer chasing over a heap far exceeding the L1
+//   - gzip:   long execute-critical dependence chains (Section 5's win)
+//   - parser: early-exit search loops with divergent dataflow (Fig. 12)
+//
+// Working-set sizes are relative to the 32KB L1: "resident" sets hit,
+// "streaming" sets miss at a modest rate, "heap" sets mostly miss.
+const (
+	residentWS  = 16 << 10
+	streamingWS = 256 << 10
+	heapWS      = 32 << 20
+)
+
+// pcBase assigns the i-th archetype of a profile a disjoint static range.
+func pcBase(i int) uint64 { return uint64(i+1) << 16 }
+
+func init() {
+	register("bzip2", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "bzip2"}
+		p.Add(NewConvergent(pcBase(0), ra, 4, 0.72, streamingWS), 4)
+		p.Add(NewConvergent(pcBase(1), ra, 2, 0.94, residentWS), 2)
+		p.Add(NewWideChains(pcBase(2), ra, 8, nil, streamingWS), 2)
+		return p
+	})
+
+	register("crafty", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "crafty"}
+		p.Add(NewConvergent(pcBase(0), ra, 2, 0.7, residentWS), 3)
+		p.Add(NewIrregularControl(pcBase(1), ra, 24, 3, residentWS, rng), 4)
+		p.Add(NewSpineRib(pcBase(2), ra, 3, 1, 0.9, residentWS), 2)
+		p.Add(NewWideChains(pcBase(3), ra, 6, nil, residentWS), 2)
+		return p
+	})
+
+	register("eon", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "eon"}
+		p.Add(NewWideChains(pcBase(0), ra, 6,
+			[]isa.Op{isa.IntALU, isa.FPAdd, isa.IntALU, isa.IntALU}, residentWS), 4)
+		p.Add(NewWideChains(pcBase(1), ra, 4,
+			[]isa.Op{isa.FPMult, isa.IntALU}, residentWS), 1)
+		p.Add(NewIrregularControl(pcBase(2), ra, 12, 2, residentWS, rng), 2)
+		return p
+	})
+
+	register("gap", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "gap"}
+		p.Add(NewWideChains(pcBase(0), ra, 8,
+			[]isa.Op{isa.IntALU, isa.IntALU, isa.IntMult}, streamingWS), 3)
+		p.Add(NewSpineRib(pcBase(1), ra, 3, 2, 0.94, residentWS), 4)
+		return p
+	})
+
+	register("gcc", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "gcc"}
+		p.Add(NewIrregularControl(pcBase(0), ra, 40, 3, streamingWS, rng), 4)
+		p.Add(NewDivergentLoop(pcBase(1), ra, 8, residentWS), 2)
+		p.Add(NewWideChains(pcBase(2), ra, 4, nil, residentWS), 1)
+		return p
+	})
+
+	register("gzip", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "gzip"}
+		// Long dependence chains with few mispredicts: the archetypal
+		// execute-critical program, where stall-over-steer pays off.
+		p.Add(NewSpineRib(pcBase(0), ra, 4, 2, 0.95, streamingWS), 5)
+		p.Add(NewConvergent(pcBase(1), ra, 2, 0.9, residentWS), 1)
+		p.Add(NewSpineRib(pcBase(2), ra, 3, 1, 0.97, residentWS), 3)
+		return p
+	})
+
+	register("mcf", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "mcf"}
+		p.Add(NewPointerChase(pcBase(0), ra, heapWS, 2, rng.Fork()), 6)
+		p.Add(NewDivergentLoop(pcBase(1), ra, 10, heapWS/4), 1)
+		return p
+	})
+
+	register("parser", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "parser"}
+		p.Add(NewDivergentLoop(pcBase(0), ra, 12, residentWS), 4)
+		p.Add(NewDivergentLoop(pcBase(1), ra, 5, streamingWS), 2)
+		p.Add(NewIrregularControl(pcBase(2), ra, 20, 2, residentWS, rng), 2)
+		return p
+	})
+
+	register("perl", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "perl"}
+		p.Add(NewIrregularControl(pcBase(0), ra, 32, 3, residentWS, rng), 4)
+		p.Add(NewHammock(pcBase(1), ra, 2, false, 0.92), 2)
+		p.Add(NewSpineRib(pcBase(2), ra, 3, 2, 0.93, residentWS), 2)
+		p.Add(NewWideChains(pcBase(3), ra, 4, nil, residentWS), 1)
+		return p
+	})
+
+	register("twolf", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "twolf"}
+		p.Add(NewHammock(pcBase(0), ra, 2, false, 0.88), 3)
+		p.Add(NewHammock(pcBase(1), ra, 2, false, 0.92), 1)
+		p.Add(NewSpineRib(pcBase(2), ra, 2, 2, 0.85, streamingWS), 3)
+		return p
+	})
+
+	register("vortex", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "vortex"}
+		p.Add(NewWideChains(pcBase(0), ra, 10, nil, streamingWS), 4)
+		p.Add(NewSpineRib(pcBase(1), ra, 3, 1, 0.95, residentWS), 2)
+		p.Add(NewIrregularControl(pcBase(2), ra, 24, 2, residentWS, rng), 2)
+		return p
+	})
+
+	register("vpr", func(ra *RegAlloc, rng *xrand.Rand) *Profile {
+		p := &Profile{Name: "vpr"}
+		// Figure 7's loop from get_heap_head(): dominant spine, ribs with
+		// a frequently-mispredicting branch; plus critical-path hammocks.
+		p.Add(NewSpineRib(pcBase(0), ra, 3, 3, 0.78, streamingWS), 4)
+		p.Add(NewHammock(pcBase(1), ra, 3, false, 0.9), 2)
+		return p
+	})
+}

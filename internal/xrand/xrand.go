@@ -1,0 +1,110 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Every experiment in this repository must be exactly reproducible from a
+// seed, independent of the Go release, so we implement the generator
+// ourselves (splitmix64 for seeding, xoshiro256** for the stream) rather
+// than depend on math/rand's unspecified stream.
+package xrand
+
+// Rand is a deterministic PRNG. The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the seed expander state and returns the next value.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed via splitmix64, as recommended
+// by the xoshiro authors. Two generators with the same seed produce the
+// same stream forever.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// A xoshiro state of all zeros is a fixed point; splitmix64 cannot
+	// produce four zero outputs from any seed, but be defensive.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Fork derives an independent generator from this one. The child stream is
+// a deterministic function of the parent state, so forking at the same
+// point in two identical runs yields identical children.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64())
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (number of trials until first success, >= 1). For p outside
+// (0, 1] it returns 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p >= 1 {
+		return 1
+	}
+	n := 1
+	for !r.Bool(p) {
+		n++
+		if n >= 1<<20 { // defensive cap; p>=2^-20 makes this unreachable in practice
+			break
+		}
+	}
+	return n
+}
