@@ -27,16 +27,23 @@
 //	-seed uint     workload seed (default 1)
 //	-fwd int       inter-cluster forwarding latency (default 2)
 //	-benchmarks s  comma-separated subset (default: all twelve)
+//	-j int         worker-pool size (default GOMAXPROCS)
+//	-cache-dir s   persist traces and results here across runs
+//	-cache-mem int in-memory cache budget in MiB (default 1024)
+//	-metrics addr  serve /metrics and /debug/pprof on this address
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"clustersim/internal/engine"
 	"clustersim/internal/experiments"
+	"clustersim/internal/metrics"
 )
 
 func main() {
@@ -45,6 +52,10 @@ func main() {
 	fwd := flag.Int("fwd", 2, "inter-cluster forwarding latency (cycles)")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	report := flag.String("report", "", "write a single markdown report of all experiments to this file")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+	cacheDir := flag.String("cache-dir", "", "on-disk cache directory for traces and results (empty: memory only)")
+	cacheMem := flag.Int64("cache-mem", engine.DefaultMaxCacheBytes>>20, "in-memory cache budget in MiB (<0: unlimited)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: clustersim [flags] <experiment> ...")
 		fmt.Fprintln(os.Stderr, "experiments: config fig2 fig2-attrib fig4 fig5 fig6 fig8 fig14 fig14-detail fig15 loc-oracle consumers fwd-sweep stall-sweep slack detector-compare window-sweep bandwidth-sweep replication icost group-steer predictor-sweep workloads future-work all")
@@ -52,7 +63,26 @@ func main() {
 	}
 	flag.Parse()
 
-	opts := experiments.Options{Insts: *n, Seed: *seed, Fwd: *fwd}
+	reg := metrics.NewRegistry()
+	eng := engine.New(engine.Config{
+		Workers:       *jobs,
+		CacheDir:      *cacheDir,
+		MaxCacheBytes: *cacheMem * (1 << 20),
+		Metrics:       reg,
+	})
+	if err := eng.Summary().DiskErr; err != nil {
+		fmt.Fprintf(os.Stderr, "clustersim: disk cache disabled: %v\n", err)
+	}
+	if *metricsAddr != "" {
+		addr, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof on /debug/pprof)\n", addr)
+	}
+
+	opts := experiments.Options{Insts: *n, Seed: *seed, Fwd: *fwd, Engine: eng}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}
@@ -63,6 +93,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", *report)
+		eng.RenderSummary(os.Stderr)
 		return
 	}
 	if flag.NArg() == 0 {
@@ -84,6 +115,7 @@ func main() {
 		}
 		fmt.Printf("[%s took %.1fs]\n\n", exp, time.Since(start).Seconds())
 	}
+	eng.RenderSummary(os.Stderr)
 }
 
 // fig5Cache shares the expensive focused-policy runs between fig5 and

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"sync"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+)
+
+// Artifact bundles everything one simulation job produced. Fresh runs
+// carry the live machine (and, for TrackExact keys, the exact tracker);
+// artifacts loaded from the on-disk result cache — or demoted by memory
+// pressure — carry only the Result summary plus any analysis that was
+// computed while the machine was alive.
+//
+// Artifacts are shared between figure drivers, so every accessor is safe
+// for concurrent use; the critical-path analysis is computed once and
+// memoized.
+type Artifact struct {
+	Res machine.Result
+
+	mu       sync.Mutex
+	m        *machine.Machine
+	exact    *predictor.Exact
+	analysis *critpath.Analysis
+	anErr    error
+	analyzed bool
+}
+
+// NewArtifact wraps a completed run.
+func NewArtifact(m *machine.Machine, res machine.Result, exact *predictor.Exact) *Artifact {
+	return &Artifact{Res: res, m: m, exact: exact}
+}
+
+// resultArtifact wraps a summary loaded from the disk cache.
+func resultArtifact(res machine.Result) *Artifact {
+	return &Artifact{Res: res}
+}
+
+// Machine returns the live post-run machine, or nil for result-only
+// artifacts. The machine must be treated as read-only.
+func (a *Artifact) Machine() *machine.Machine {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.m
+}
+
+// Exact returns the unlimited-precision criticality tracker (nil unless
+// the job's key set TrackExact and the artifact still holds it).
+func (a *Artifact) Exact() *predictor.Exact {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.exact
+}
+
+// Analysis returns the critical-path analysis of the run, computing and
+// memoizing it on first call. Concurrent callers share one computation.
+func (a *Artifact) Analysis() (*critpath.Analysis, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.analyzed {
+		if a.m == nil {
+			a.anErr = errNoMachine
+		} else {
+			a.analysis, a.anErr = critpath.AnalyzeRun(a.m)
+		}
+		a.analyzed = true
+	}
+	return a.analysis, a.anErr
+}
+
+// satisfies reports whether the artifact can serve every requested need.
+// A memoized analysis lets a demoted artifact keep serving NeedMachine
+// callers that only wanted Analysis — but we cannot know that, so
+// NeedMachine strictly requires the live machine.
+func (a *Artifact) satisfies(need Need) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if need&NeedMachine != 0 && a.m == nil {
+		return false
+	}
+	if need&NeedExact != 0 && a.exact == nil {
+		return false
+	}
+	return true
+}
+
+// demote drops the live machine and exact tracker, keeping the compact
+// Result (and any already-memoized analysis). Returns the bytes freed.
+func (a *Artifact) demote(insts int) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	freed := int64(0)
+	if a.m != nil {
+		a.m = nil
+		freed += machineCost(insts)
+	}
+	if a.exact != nil {
+		a.exact = nil
+		freed += exactCost
+	}
+	return freed
+}
+
+// Cost accounting for the memory cache, in approximate bytes. The
+// dominant term is the machine's per-instruction event log.
+const (
+	bytesPerEvent = 128  // sizeof(machine.Event) rounded up
+	bytesPerInst  = 64   // trace record plus dependence annotations
+	baseCost      = 4096 // map entry, Result, bookkeeping
+	exactCost     = 1 << 16
+)
+
+func machineCost(insts int) int64 { return int64(insts) * bytesPerEvent }
+
+// artifactCost estimates the resident size of an artifact for a run of
+// insts instructions.
+func artifactCost(a *Artifact, insts int) int64 {
+	cost := int64(baseCost)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.m != nil {
+		cost += machineCost(insts)
+	}
+	if a.exact != nil {
+		cost += exactCost
+	}
+	return cost
+}
+
+func traceCost(insts int) int64 { return baseCost + int64(insts)*bytesPerInst }

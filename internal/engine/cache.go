@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"clustersim/internal/machine"
+	"clustersim/internal/trace"
+)
+
+// entryKind tags memory-cache entries.
+type entryKind uint8
+
+const (
+	kindTrace entryKind = iota
+	kindSim
+)
+
+// entry is one memory-cache slot.
+type entry struct {
+	key   string
+	kind  entryKind
+	tr    *trace.Trace
+	art   *Artifact
+	insts int
+	cost  int64
+	elem  *list.Element
+}
+
+// memCache is a byte-budgeted LRU over traces and simulation artifacts.
+// Under pressure it first demotes simulation entries to result-only
+// stubs (the machine's event log dominates their footprint), then drops
+// entries outright. Demotion replaces the cached artifact with a fresh
+// stub rather than mutating it, so drivers already holding the full
+// artifact are unaffected.
+//
+// memCache is not internally locked; the Engine serializes access.
+type memCache struct {
+	max     int64 // <=0 means unlimited
+	bytes   int64
+	entries map[string]*entry
+	ll      *list.List // front = most recently used
+	evicted int64
+}
+
+func newMemCache(maxBytes int64) *memCache {
+	return &memCache{max: maxBytes, entries: map[string]*entry{}, ll: list.New()}
+}
+
+func (c *memCache) get(key string) *entry {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(e.elem)
+	return e
+}
+
+func (c *memCache) putTrace(key string, tr *trace.Trace, insts int) {
+	c.put(&entry{key: key, kind: kindTrace, tr: tr, insts: insts, cost: traceCost(insts)})
+}
+
+func (c *memCache) putSim(key string, a *Artifact, insts int) {
+	c.put(&entry{key: key, kind: kindSim, art: a, insts: insts, cost: artifactCost(a, insts)})
+}
+
+func (c *memCache) put(e *entry) {
+	if old, ok := c.entries[e.key]; ok {
+		c.bytes -= old.cost
+		c.ll.Remove(old.elem)
+		delete(c.entries, e.key)
+	}
+	e.elem = c.ll.PushFront(e)
+	c.entries[e.key] = e
+	c.bytes += e.cost
+	c.shrink()
+}
+
+// shrink enforces the byte budget. Each pass either strictly reduces
+// resident bytes (demotion) or removes an entry, so it terminates.
+func (c *memCache) shrink() {
+	if c.max <= 0 {
+		return
+	}
+	for c.bytes > c.max && c.ll.Len() > 0 {
+		oldest := c.ll.Back().Value.(*entry)
+		if oldest.kind == kindSim && oldest.cost > baseCost {
+			c.bytes -= oldest.cost - baseCost
+			oldest.art = resultArtifact(oldest.art.Res)
+			oldest.cost = baseCost
+			c.evicted++
+			continue
+		}
+		c.bytes -= oldest.cost
+		c.ll.Remove(oldest.elem)
+		delete(c.entries, oldest.key)
+		c.evicted++
+	}
+}
+
+// len returns the number of resident entries.
+func (c *memCache) len() int { return c.ll.Len() }
+
+// diskCache persists artifacts across processes, keyed by the hash of
+// the canonical key string. Traces round-trip through the binary trace
+// codec; simulation results are stored as JSON envelopes. Live machines
+// and exact trackers are never persisted — a disk hit can only satisfy
+// NeedResult.
+//
+// Disk failures are deliberately non-fatal: the cache is an accelerator,
+// so a read or write problem degrades to a miss and is counted, not
+// returned.
+type diskCache struct {
+	dir string
+}
+
+// resultEnvelope is the on-disk simulation-result format. The canonical
+// key is stored alongside the payload and verified on load, guarding
+// against hash collisions and scheme changes.
+type resultEnvelope struct {
+	Key    string
+	Result machine.Result
+}
+
+func newDiskCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: cache dir: %w", err)
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+func (d *diskCache) resultPath(canon string) string {
+	return filepath.Join(d.dir, "sim-"+hashKey(canon)+".json")
+}
+
+func (d *diskCache) tracePath(canon string) string {
+	return filepath.Join(d.dir, "trace-"+hashKey(canon)+".ctr")
+}
+
+func (d *diskCache) loadResult(key SimKey) (machine.Result, bool) {
+	canon := key.String()
+	data, err := os.ReadFile(d.resultPath(canon))
+	if err != nil {
+		return machine.Result{}, false
+	}
+	var env resultEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != canon {
+		return machine.Result{}, false
+	}
+	return env.Result, true
+}
+
+func (d *diskCache) storeResult(key SimKey, res machine.Result) error {
+	canon := key.String()
+	data, err := json.Marshal(resultEnvelope{Key: canon, Result: res})
+	if err != nil {
+		return err
+	}
+	return atomicWrite(d.resultPath(canon), data)
+}
+
+// Trace files carry a key envelope before the codec stream: a uvarint
+// length plus the canonical key, verified on load like resultEnvelope.Key.
+// (The trace's length cannot be validated against TraceKey.Insts — the
+// generators round the requested count up to block boundaries.)
+const maxTraceKeyLen = 4096
+
+func (d *diskCache) loadTrace(key TraceKey) (*trace.Trace, bool) {
+	canon := key.String()
+	f, err := os.Open(d.tracePath(canon))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	n, err := binary.ReadUvarint(br)
+	if err != nil || n > maxTraceKeyLen {
+		return nil, false
+	}
+	got := make([]byte, n)
+	if _, err := io.ReadFull(br, got); err != nil || string(got) != canon {
+		return nil, false
+	}
+	tr, err := trace.Read(br)
+	if err != nil {
+		return nil, false
+	}
+	return tr, true
+}
+
+func (d *diskCache) storeTrace(key TraceKey, tr *trace.Trace) error {
+	canon := key.String()
+	path := d.tracePath(canon)
+	tmp, err := os.CreateTemp(d.dir, ".tmp-trace-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(canon)))
+	if _, err := tmp.Write(hdr[:n]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write([]byte(canon)); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := trace.Write(tmp, tr); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// atomicWrite writes data to path via a temp file and rename, so a
+// crashed run never leaves a torn cache entry.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

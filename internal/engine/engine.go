@@ -1,0 +1,327 @@
+// Package engine is the sharded experiment engine: it decomposes figure
+// drivers into (benchmark, cluster-config, policy-stack, forwarding,
+// seed) simulation jobs, deduplicates identical jobs across figures via
+// a content-addressed cache of generated traces and simulation
+// artifacts, and executes work on a bounded worker pool with
+// deterministic result ordering regardless of GOMAXPROCS or the pool
+// size.
+//
+// The contract that makes caching sound is purity: every job is fully
+// determined by its key (the workload generators, predictors and
+// policies are all seeded from the key's fields), so a cached artifact
+// is indistinguishable from a fresh computation. The determinism test
+// suite in internal/experiments pins this property.
+//
+// Three layers serve a lookup, in order:
+//
+//  1. an in-memory LRU (byte-budgeted; entries holding live machines are
+//     demoted to result-only stubs under pressure),
+//  2. an optional on-disk cache (traces via the binary codec, results as
+//     JSON) that survives across processes,
+//  3. a singleflight table so concurrent submissions of one key run the
+//     simulation exactly once.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustersim/internal/metrics"
+	"clustersim/internal/trace"
+)
+
+// errNoMachine reports a derived-product request against a result-only
+// artifact (disk-loaded or demoted).
+var errNoMachine = errors.New("engine: artifact holds no machine (result-only cache entry)")
+
+// DefaultMaxCacheBytes bounds the in-memory cache when Config leaves it
+// unset: generous enough to share runs across an entire `clustersim all`
+// invocation at test scales, bounded enough not to retain every machine
+// of a full-scale run.
+const DefaultMaxCacheBytes = 1 << 30
+
+// Config configures an Engine.
+type Config struct {
+	// Workers bounds concurrently executing jobs in Map; <=0 means
+	// runtime.GOMAXPROCS(0) at construction time.
+	Workers int
+	// CacheDir, when non-empty, enables the on-disk cache.
+	CacheDir string
+	// MaxCacheBytes is the in-memory cache budget; 0 means
+	// DefaultMaxCacheBytes, negative means unlimited.
+	MaxCacheBytes int64
+	// Metrics receives the engine's counters and timers; a private
+	// registry is created when nil.
+	Metrics *metrics.Registry
+}
+
+// Engine executes and memoizes experiment jobs. Safe for concurrent use.
+type Engine struct {
+	workers int
+	met     *metrics.Registry
+
+	mu       sync.Mutex
+	mem      *memCache
+	inflight map[string]*call
+
+	disk    *diskCache
+	diskErr error
+
+	cTraceHit, cTraceMiss          *metrics.Counter
+	cSimHit, cSimDiskHit, cSimMiss *metrics.Counter
+	cDiskErr                       *metrics.Counter
+	cInsts                         *metrics.Counter
+	tSim, tTrace                   *metrics.Timer
+}
+
+// call is one in-flight singleflight execution.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New builds an engine from cfg. A bad cache directory disables the disk
+// layer (recorded in Summary.DiskErr) rather than failing construction —
+// the cache is an accelerator, not a dependency.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxBytes := cfg.MaxCacheBytes
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxCacheBytes
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = metrics.NewRegistry()
+	}
+	e := &Engine{
+		workers:  workers,
+		met:      met,
+		mem:      newMemCache(maxBytes),
+		inflight: map[string]*call{},
+
+		cTraceHit:   met.Counter("engine.trace.hit"),
+		cTraceMiss:  met.Counter("engine.trace.miss"),
+		cSimHit:     met.Counter("engine.sim.hit"),
+		cSimDiskHit: met.Counter("engine.sim.disk_hit"),
+		cSimMiss:    met.Counter("engine.sim.miss"),
+		cDiskErr:    met.Counter("engine.disk.error"),
+		cInsts:      met.Counter("engine.sim.insts"),
+		tSim:        met.Timer("engine.sim.run"),
+		tTrace:      met.Timer("engine.trace.gen"),
+	}
+	if cfg.CacheDir != "" {
+		e.disk, e.diskErr = newDiskCache(cfg.CacheDir)
+		if e.diskErr != nil {
+			e.cDiskErr.Inc()
+		}
+	}
+	return e
+}
+
+// Workers returns the worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Metrics returns the engine's registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.met }
+
+// Trace returns the trace for key, generating it with gen on a cache
+// miss. Identical keys generate at most once per process (and at most
+// once per CacheDir across processes).
+func (e *Engine) Trace(key TraceKey, gen func() (*trace.Trace, error)) (*trace.Trace, error) {
+	canon := key.String()
+	e.mu.Lock()
+	if ent := e.mem.get(canon); ent != nil {
+		e.mu.Unlock()
+		e.cTraceHit.Inc()
+		return ent.tr, nil
+	}
+	e.mu.Unlock()
+
+	v, err := e.doOnce(canon, e.cTraceHit, func() (any, error) {
+		if e.disk != nil {
+			if tr, ok := e.disk.loadTrace(key); ok {
+				e.cTraceHit.Inc()
+				e.storeTrace(canon, key, tr, false)
+				return tr, nil
+			}
+		}
+		e.cTraceMiss.Inc()
+		start := time.Now()
+		tr, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		e.tTrace.Observe(time.Since(start))
+		e.storeTrace(canon, key, tr, true)
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Trace), nil
+}
+
+// storeTrace caches tr in memory and, for fresh generations, on disk.
+func (e *Engine) storeTrace(canon string, key TraceKey, tr *trace.Trace, persist bool) {
+	e.mu.Lock()
+	e.mem.putTrace(canon, tr, tr.Len())
+	e.mu.Unlock()
+	if persist && e.disk != nil {
+		if err := e.disk.storeTrace(key, tr); err != nil {
+			e.cDiskErr.Inc()
+		}
+	}
+}
+
+// Sim returns the artifact for key, simulating with run on a cache miss.
+// need declares which products the caller will read: a result-only cache
+// entry (from disk, or demoted under memory pressure) satisfies
+// NeedResult but forces a re-simulation for NeedMachine/NeedExact.
+// Concurrent submissions of one key — e.g. two figure drivers sharing a
+// focused-stack run — simulate once and share the artifact.
+func (e *Engine) Sim(key SimKey, need Need, run func() (*Artifact, error)) (*Artifact, error) {
+	if need&NeedExact != 0 && !key.TrackExact {
+		return nil, fmt.Errorf("engine: %s requested for key without TrackExact (%s)", need, key)
+	}
+	canon := key.String()
+	e.mu.Lock()
+	if ent := e.mem.get(canon); ent != nil && ent.art.satisfies(need) {
+		e.mu.Unlock()
+		e.cSimHit.Inc()
+		return ent.art, nil
+	}
+	e.mu.Unlock()
+
+	// A result summary from disk can satisfy pure-result requests
+	// without simulating.
+	if need&^NeedResult == 0 && e.disk != nil {
+		if res, ok := e.disk.loadResult(key); ok {
+			a := resultArtifact(res)
+			e.mu.Lock()
+			e.mem.putSim(canon, a, key.Insts)
+			e.mu.Unlock()
+			e.cSimDiskHit.Inc()
+			return a, nil
+		}
+	}
+
+	v, err := e.doOnce(canon, e.cSimHit, func() (any, error) {
+		e.cSimMiss.Inc()
+		start := time.Now()
+		a, err := run()
+		if err != nil {
+			return nil, err
+		}
+		e.tSim.Observe(time.Since(start))
+		e.cInsts.Add(a.Res.Insts)
+		e.mu.Lock()
+		e.mem.putSim(canon, a, key.Insts)
+		e.mu.Unlock()
+		if e.disk != nil {
+			if err := e.disk.storeResult(key, a.Res); err != nil {
+				e.cDiskErr.Inc()
+			}
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := v.(*Artifact)
+	if !a.satisfies(need) {
+		// Shared a flight whose artifact cannot serve this need (it
+		// raced with a demotion, or joined a disk-loaded entry). Rare;
+		// retry resolves it.
+		return e.Sim(key, need, run)
+	}
+	return a, nil
+}
+
+// doOnce collapses concurrent executions of one key into a single call;
+// later arrivals block, share the leader's value, and count on hitCtr
+// (the work was deduplicated even though no cache entry existed yet).
+// Errors are not memoized — the key is retried on the next submission.
+func (e *Engine) doOnce(key string, hitCtr *metrics.Counter, fn func() (any, error)) (any, error) {
+	e.mu.Lock()
+	if c, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-c.done
+		if c.err == nil {
+			hitCtr.Inc()
+		}
+		return c.val, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// Map runs fn once per item on the engine's worker pool and returns the
+// results in item order — output i is fn(i, items[i]) regardless of
+// completion order, so aggregation over the results is deterministic. A
+// panicking fn is recovered and surfaced as that item's error; the pool
+// keeps draining, so a panic can neither deadlock the dispatch loop nor
+// strand sibling jobs. When multiple items fail, the lowest-indexed
+// error wins (again for determinism).
+func Map[I, O any](e *Engine, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	n := len(items)
+	out := make([]O, n)
+	errs := make([]error, n)
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = mapOne(i, items[i], &out[i], fn)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mapOne runs one item with panic containment.
+func mapOne[I, O any](i int, item I, out *O, fn func(int, I) (O, error)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: job %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	*out, err = fn(i, item)
+	return err
+}

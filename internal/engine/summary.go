@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"clustersim/internal/stats"
+)
+
+// Summary is a point-in-time view of the engine's work and cache
+// effectiveness.
+type Summary struct {
+	Workers int
+
+	TraceHits   int64
+	TraceMisses int64
+	SimHits     int64
+	SimDiskHits int64
+	SimMisses   int64
+	DiskErrors  int64
+
+	// SimJobs/SimWallNs/SimInsts describe executed (non-cached) jobs;
+	// wall time sums across workers, so throughput is per CPU-second.
+	SimJobs   int64
+	SimWallNs int64
+	SimInsts  int64
+
+	TraceJobs   int64
+	TraceWallNs int64
+
+	CacheBytes   int64
+	CacheEntries int
+	Evictions    int64
+
+	// DiskErr is set when the configured cache directory was unusable.
+	DiskErr error
+}
+
+// SimInstsPerSec is the simulated-instruction throughput of executed
+// jobs (0 when nothing ran).
+func (s Summary) SimInstsPerSec() float64 {
+	if s.SimWallNs == 0 {
+		return 0
+	}
+	return float64(s.SimInsts) / (float64(s.SimWallNs) / 1e9)
+}
+
+// HitRate is the fraction of simulation submissions served without
+// running (memory, singleflight or disk).
+func (s Summary) HitRate() float64 {
+	total := s.SimHits + s.SimDiskHits + s.SimMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SimHits+s.SimDiskHits) / float64(total)
+}
+
+// Summary snapshots the engine.
+func (e *Engine) Summary() Summary {
+	s := Summary{
+		Workers:     e.workers,
+		TraceHits:   e.cTraceHit.Load(),
+		TraceMisses: e.cTraceMiss.Load(),
+		SimHits:     e.cSimHit.Load(),
+		SimDiskHits: e.cSimDiskHit.Load(),
+		SimMisses:   e.cSimMiss.Load(),
+		DiskErrors:  e.cDiskErr.Load(),
+		SimJobs:     e.tSim.Count(),
+		SimWallNs:   e.tSim.TotalNs(),
+		SimInsts:    e.cInsts.Load(),
+		TraceJobs:   e.tTrace.Count(),
+		TraceWallNs: e.tTrace.TotalNs(),
+		DiskErr:     e.diskErr,
+	}
+	e.mu.Lock()
+	s.CacheBytes = e.mem.bytes
+	s.CacheEntries = e.mem.len()
+	s.Evictions = e.mem.evicted
+	e.mu.Unlock()
+	return s
+}
+
+// RenderSummary writes the engine summary as a stats table plus
+// throughput lines.
+func (e *Engine) RenderSummary(w io.Writer) {
+	s := e.Summary()
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Engine summary (%d workers)", s.Workers),
+		Columns: []string{"hits", "disk-hits", "misses", "hit-rate"},
+		Decimal: 2,
+	}
+	simTotal := float64(s.SimHits + s.SimDiskHits + s.SimMisses)
+	traceTotal := float64(s.TraceHits + s.TraceMisses)
+	traceRate := 0.0
+	if traceTotal > 0 {
+		traceRate = float64(s.TraceHits) / traceTotal
+	}
+	simRate := 0.0
+	if simTotal > 0 {
+		simRate = s.HitRate()
+	}
+	t.AddRow("trace", float64(s.TraceHits), 0, float64(s.TraceMisses), traceRate)
+	t.AddRow("sim", float64(s.SimHits), float64(s.SimDiskHits), float64(s.SimMisses), simRate)
+	t.Render(w)
+	fmt.Fprintf(w, "sim jobs run: %d (%.2f cpu-s, %.2f Minst/s); traces generated: %d (%.2f cpu-s)\n",
+		s.SimJobs, float64(s.SimWallNs)/1e9, s.SimInstsPerSec()/1e6,
+		s.TraceJobs, float64(s.TraceWallNs)/1e9)
+	fmt.Fprintf(w, "cache: %d entries, %.1f MiB resident, %d evictions/demotions\n",
+		s.CacheEntries, float64(s.CacheBytes)/(1<<20), s.Evictions)
+	if s.DiskErr != nil {
+		fmt.Fprintf(w, "disk cache disabled: %v\n", s.DiskErr)
+	} else if s.DiskErrors > 0 {
+		fmt.Fprintf(w, "disk cache errors (non-fatal): %d\n", s.DiskErrors)
+	}
+}

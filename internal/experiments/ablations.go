@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"clustersim/internal/critpath"
+	"clustersim/internal/engine"
 	"clustersim/internal/listsched"
 	"clustersim/internal/machine"
 	"clustersim/internal/predictor"
@@ -30,20 +31,19 @@ func FwdSweep(opts Options) (*FwdSweepResult, error) {
 	// rows[bench][latIdx][clusterIdx]
 	rows, err := parBench(opts, func(bench string) ([][]float64, error) {
 		out := make([][]float64, len(r.Lats))
-		tr, err := genTrace(opts, bench)
-		if err != nil {
-			return nil, err
-		}
 		for li, lat := range r.Lats {
 			out[li] = make([]float64, len(clusterCounts))
-			cfg1 := machine.NewConfig(1)
-			cfg1.FwdLatency = lat
-			m, err := machine.New(cfg1, tr, steer.DepBased{}, machine.Hooks{})
+			// Vary the forwarding latency through the job key, so the
+			// lat == opts.Fwd row shares the cached Figure 2 run.
+			latOpts := opts
+			latOpts.Fwd = lat
+			a, err := sim(latOpts, bench, 1, StackDepBased, false, engine.NeedMachine)
 			if err != nil {
 				return nil, err
 			}
-			m.Run()
-			in := listsched.FromMachineRun(m)
+			cfg1 := machine.NewConfig(1)
+			cfg1.FwdLatency = lat
+			in := listsched.FromMachineRun(a.Machine())
 			oracle := listsched.NewOracle(in)
 			mono, err := listsched.Run(in, listsched.ConfigFor(cfg1), oracle)
 			if err != nil {

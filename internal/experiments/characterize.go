@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"clustersim/internal/engine"
 	"clustersim/internal/isa"
-	"clustersim/internal/machine"
-	"clustersim/internal/steer"
 )
 
 // CharacterizeResult describes each synthetic benchmark the way a
@@ -41,13 +40,11 @@ func Characterize(opts Options) (*CharacterizeResult, error) {
 		if err != nil {
 			return row, err
 		}
-		cfg := machine.NewConfig(1)
-		cfg.FwdLatency = opts.Fwd
-		m, err := machine.New(cfg, tr, steer.DepBased{}, machine.Hooks{})
+		a, err := sim(opts, bench, 1, StackDepBased, false, engine.NeedResult)
 		if err != nil {
 			return row, err
 		}
-		res := m.Run()
+		res := a.Res
 		s := tr.Summarize()
 		n := float64(s.Total)
 		row.CPI = res.CPI()

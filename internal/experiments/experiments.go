@@ -19,10 +19,10 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"clustersim/internal/critpath"
+	"clustersim/internal/engine"
 	"clustersim/internal/machine"
 	"clustersim/internal/predictor"
 	"clustersim/internal/steer"
@@ -45,6 +45,28 @@ type Options struct {
 	Fwd int
 	// EpochLen overrides the criticality-detector epoch.
 	EpochLen int64
+	// Engine executes and caches this run's jobs. Drivers sharing an
+	// engine share traces and simulations: Figures 4, 5 and 14 all
+	// submit the focused stack on the clustered configurations, and the
+	// engine simulates each (benchmark, config, stack) exactly once.
+	// Nil uses a process-wide default engine.
+	Engine *engine.Engine
+}
+
+// defaultEngine serves Options with no explicit engine, so library
+// callers and tests share work without any wiring.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *engine.Engine
+)
+
+// engine returns the options' engine, falling back to the default.
+func (o Options) engine() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	defaultEngineOnce.Do(func() { defaultEngine = engine.New(engine.Config{}) })
+	return defaultEngine
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +98,11 @@ const (
 	StackStall Stack = "s"
 	// StackProactive adds proactive load-balancing (the "p" bars).
 	StackProactive Stack = "p"
+	// StackDepBased is plain dependence-based steering with the default
+	// scheduler and no criticality machinery: the constraint-harvesting
+	// run behind the idealized list-scheduling studies (Figure 2 and
+	// friends) and the workload characterization baseline.
+	StackDepBased Stack = "depbased"
 )
 
 // Stacks returns the Figure 14 progression in order.
@@ -97,57 +124,89 @@ func seedFor(base uint64, bench string, use string) uint64 {
 	return h
 }
 
-// genTrace generates the benchmark trace for opts.
+// genTrace returns the benchmark trace for opts via the engine's
+// content-addressed trace cache; every driver submitting the same
+// (bench, insts, seed) shares one generation.
 func genTrace(opts Options, bench string) (*trace.Trace, error) {
-	return workload.Generate(bench, opts.Insts, opts.Seed)
+	eng := opts.engine()
+	key := engine.TraceKey{Bench: bench, Insts: opts.Insts, Seed: opts.Seed}
+	return eng.Trace(key, func() (*trace.Trace, error) {
+		return workload.Generate(bench, opts.Insts, opts.Seed)
+	})
 }
 
-// parBench runs fn once per benchmark, concurrently (bounded by CPU
-// count), and returns the results in benchmark order. Every benchmark's
+// parBench runs fn once per benchmark on the engine's bounded worker
+// pool and returns the results in benchmark order. Every benchmark's
 // work is seeded independently, so parallel and serial runs produce
-// identical results. The first error wins.
+// identical results. The lowest-indexed error wins; a panicking fn is
+// recovered and surfaced as an error instead of deadlocking the pool.
 func parBench[T any](opts Options, fn func(bench string) (T, error)) ([]T, error) {
-	benches := opts.Benchmarks
-	out := make([]T, len(benches))
-	errs := make([]error, len(benches))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(benches) {
-		workers = len(benches)
+	return engine.Map(opts.engine(), opts.Benchmarks, func(_ int, bench string) (T, error) {
+		return fn(bench)
+	})
+}
+
+// simKey builds the content-addressed job key for one simulation.
+func simKey(opts Options, bench string, clusters int, stack Stack, trackExact bool) engine.SimKey {
+	return engine.SimKey{
+		Bench:      bench,
+		Insts:      opts.Insts,
+		Seed:       opts.Seed,
+		Fwd:        opts.Fwd,
+		EpochLen:   opts.EpochLen,
+		Clusters:   clusters,
+		Stack:      string(stack),
+		TrackExact: trackExact,
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = fn(benches[i])
-			}
-		}()
-	}
-	for i := range benches {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
+}
+
+// sim submits one (benchmark, clusters, stack) simulation job to the
+// engine. need declares which artifacts the caller reads — NeedResult
+// alone lets disk-cached summaries satisfy the job without simulating.
+// Identical jobs submitted by different figures simulate once.
+func sim(opts Options, bench string, clusters int, stack Stack, trackExact bool, need engine.Need) (*engine.Artifact, error) {
+	return opts.engine().Sim(simKey(opts, bench, clusters, stack, trackExact), need, func() (*engine.Artifact, error) {
+		tr, err := genTrace(opts, bench)
 		if err != nil {
 			return nil, err
 		}
-	}
-	return out, nil
+		return simulate(opts, bench, tr, clusters, stack, trackExact)
+	})
 }
 
-// runStack simulates tr on a clusters-way machine under the given policy
-// stack, with the online criticality detector training the appropriate
+// runStack is the compatibility wrapper for drivers that still want the
+// raw (machine, result, exact) triple: it routes through the engine so
+// the run is cached and deduplicated, requesting the live machine (and
+// the exact tracker when trackExact).
+func runStack(opts Options, bench string, _ *trace.Trace, clusters int, stack Stack, trackExact bool) (runOut, error) {
+	need := engine.NeedResult | engine.NeedMachine
+	if trackExact {
+		need |= engine.NeedExact
+	}
+	a, err := sim(opts, bench, clusters, stack, trackExact, need)
+	if err != nil {
+		return runOut{}, err
+	}
+	return runOut{m: a.Machine(), res: a.Res, exact: a.Exact()}, nil
+}
+
+// simulate builds and runs one machine under the given policy stack,
+// with the online criticality detector training the appropriate
 // predictors. trackExact additionally records unlimited-precision
-// criticality frequencies.
-func runStack(opts Options, bench string, tr *trace.Trace, clusters int, stack Stack, trackExact bool) (runOut, error) {
+// criticality frequencies. This is the engine job body; everything it
+// does is determined by (opts, bench, clusters, stack, trackExact).
+func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack Stack, trackExact bool) (*engine.Artifact, error) {
 	cfg := machine.NewConfig(clusters)
 	cfg.FwdLatency = opts.Fwd
+
+	if stack == StackDepBased {
+		m, err := machine.New(cfg, tr, steer.DepBased{}, machine.Hooks{EpochLen: opts.EpochLen})
+		if err != nil {
+			return nil, err
+		}
+		res := m.Run()
+		return engine.NewArtifact(m, res, nil), nil
+	}
 
 	var pol machine.SteerPolicy
 	hooks := machine.Hooks{EpochLen: opts.EpochLen}
@@ -166,7 +225,7 @@ func runStack(opts Options, bench string, tr *trace.Trace, clusters int, stack S
 		cfg.SchedMode = machine.SchedLoC
 		pol = steer.NewProactive()
 	default:
-		return runOut{}, fmt.Errorf("experiments: unknown stack %q", stack)
+		return nil, fmt.Errorf("experiments: unknown stack %q", stack)
 	}
 	if stack != StackFocused {
 		hooks.LoC = predictor.NewDefaultLoC(xrand.New(seedFor(opts.Seed, bench, "loc")))
@@ -185,9 +244,9 @@ func runStack(opts Options, bench string, tr *trace.Trace, clusters int, stack S
 
 	m, err := machine.New(cfg, tr, pol, hooks)
 	if err != nil {
-		return runOut{}, err
+		return nil, err
 	}
 	det.Bind(m)
 	res := m.Run()
-	return runOut{m: m, res: res, exact: exact}, nil
+	return engine.NewArtifact(m, res, exact), nil
 }

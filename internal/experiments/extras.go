@@ -5,10 +5,10 @@ import (
 	"io"
 
 	"clustersim/internal/critpath"
+	"clustersim/internal/engine"
 	"clustersim/internal/listsched"
 	"clustersim/internal/machine"
 	"clustersim/internal/stats"
-	"clustersim/internal/steer"
 )
 
 // LoCOracleResult reproduces Section 4's in-text study: the idealized
@@ -33,17 +33,13 @@ const (
 func LoCOracle(opts Options) (*LoCOracleResult, error) {
 	opts = opts.withDefaults()
 	losses, err := parBench(opts, func(bench string) (map[string][]float64, error) {
-		tr, err := genTrace(opts, bench)
-		if err != nil {
-			return nil, err
-		}
 		// The LoC/binary priorities use past criticality observed on the
 		// monolithic machine, via the detector's exact tracker.
-		out, err := runStack(opts, bench, tr, 1, StackFocused, true)
+		out, err := sim(opts, bench, 1, StackFocused, true, engine.NeedMachine|engine.NeedExact)
 		if err != nil {
 			return nil, err
 		}
-		in := listsched.FromMachineRun(out.m)
+		in := listsched.FromMachineRun(out.Machine())
 		oracle := listsched.NewOracle(in)
 		cfg1 := machine.NewConfig(1)
 		cfg1.FwdLatency = opts.Fwd
@@ -51,11 +47,12 @@ func LoCOracle(opts Options) (*LoCOracleResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		exact := out.Exact()
 		pris := map[string]listsched.Priority{
 			PriOracle:       oracle,
-			PriLoC16:        listsched.LoCPriority{Exact: out.exact, Levels: 16},
-			PriLoCUnlimited: listsched.LoCPriority{Exact: out.exact},
-			PriBinary:       listsched.BinaryPriority{Exact: out.exact},
+			PriLoC16:        listsched.LoCPriority{Exact: exact, Levels: 16},
+			PriLoCUnlimited: listsched.LoCPriority{Exact: exact},
+			PriBinary:       listsched.BinaryPriority{Exact: exact},
 		}
 		local := map[string][]float64{}
 		for name := range pris {
@@ -129,11 +126,11 @@ func Consumers(opts Options) (*ConsumersResult, error) {
 		if err != nil {
 			return [3]float64{}, err
 		}
-		out, err := runStack(opts, bench, tr, 4, StackFocused, true)
+		out, err := sim(opts, bench, 4, StackFocused, true, engine.NeedExact)
 		if err != nil {
 			return [3]float64{}, err
 		}
-		s := critpath.AnalyzeConsumers(tr, out.exact)
+		s := critpath.AnalyzeConsumers(tr, out.Exact())
 		return [3]float64{s.MCCNotFirstFrac(), s.StaticallyUniqueFrac, s.BimodalFrac}, nil
 	})
 	if err != nil {
@@ -164,18 +161,11 @@ func AttributeFigure2(opts Options) (*Figure2Attribution, error) {
 	t := &stats.Table{Title: "Section 2.2: convergent dataflow in idealized schedules (8x1w)",
 		Columns: []string{"cross/1kinst", "dyadic-share"}}
 	rows, err := parBench(opts, func(bench string) ([2]float64, error) {
-		tr, err := genTrace(opts, bench)
+		a, err := sim(opts, bench, 1, StackDepBased, false, engine.NeedMachine)
 		if err != nil {
 			return [2]float64{}, err
 		}
-		cfg1 := machine.NewConfig(1)
-		cfg1.FwdLatency = opts.Fwd
-		m, err := machine.New(cfg1, tr, steer.DepBased{}, machine.Hooks{})
-		if err != nil {
-			return [2]float64{}, err
-		}
-		m.Run()
-		in := listsched.FromMachineRun(m)
+		in := listsched.FromMachineRun(a.Machine())
 		ck := machine.NewConfig(8)
 		ck.FwdLatency = opts.Fwd
 		s, err := listsched.Run(in, listsched.ConfigFor(ck), listsched.NewOracle(in))
@@ -186,7 +176,7 @@ func AttributeFigure2(opts Options) (*Figure2Attribution, error) {
 		if s.CrossEdges > 0 {
 			share = float64(s.DyadicCross) / float64(s.CrossEdges)
 		}
-		return [2]float64{float64(s.CrossEdges) * 1000 / float64(tr.Len()), share}, nil
+		return [2]float64{float64(s.CrossEdges) * 1000 / float64(a.Res.Insts), share}, nil
 	})
 	if err != nil {
 		return nil, err

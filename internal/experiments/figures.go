@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"io"
 
-	"clustersim/internal/critpath"
+	"clustersim/internal/engine"
 	"clustersim/internal/listsched"
 	"clustersim/internal/machine"
 	"clustersim/internal/stats"
-	"clustersim/internal/steer"
 )
 
 // clusterCounts is the paper's clustered configurations.
@@ -37,20 +36,16 @@ func Figure2(opts Options) (*Figure2Result, error) {
 	}
 	rows, err := parBench(opts, func(bench string) (row, error) {
 		var r row
-		tr, err := genTrace(opts, bench)
+		// Harvest dispatch/latency/misprediction constraints from the
+		// monolithic machine's retirement stream (a cached engine job
+		// shared with the other idealized studies).
+		a, err := sim(opts, bench, 1, StackDepBased, false, engine.NeedMachine)
 		if err != nil {
 			return r, err
 		}
-		// Harvest dispatch/latency/misprediction constraints from the
-		// monolithic machine's retirement stream.
 		cfg1 := machine.NewConfig(1)
 		cfg1.FwdLatency = opts.Fwd
-		m, err := machine.New(cfg1, tr, steer.DepBased{}, machine.Hooks{})
-		if err != nil {
-			return r, err
-		}
-		m.Run()
-		in := listsched.FromMachineRun(m)
+		in := listsched.FromMachineRun(a.Machine())
 		oracle := listsched.NewOracle(in)
 		mono, err := listsched.Run(in, listsched.ConfigFor(cfg1), oracle)
 		if err != nil {
@@ -103,21 +98,17 @@ func Figure4(opts Options) (*Figure4Result, error) {
 	t := &stats.Table{Title: "Figure 4: focused steering and scheduling (normalized CPI)",
 		Columns: []string{"2x4w", "4x2w", "8x1w"}}
 	rows, err := parBench(opts, func(bench string) ([]float64, error) {
-		tr, err := genTrace(opts, bench)
-		if err != nil {
-			return nil, err
-		}
-		base, err := runStack(opts, bench, tr, 1, StackFocused, false)
+		base, err := sim(opts, bench, 1, StackFocused, false, engine.NeedResult)
 		if err != nil {
 			return nil, err
 		}
 		var vals []float64
 		for _, k := range clusterCounts {
-			out, err := runStack(opts, bench, tr, k, StackFocused, false)
+			out, err := sim(opts, bench, k, StackFocused, false, engine.NeedResult)
 			if err != nil {
 				return nil, err
 			}
-			vals = append(vals, out.res.CPI()/base.res.CPI())
+			vals = append(vals, out.Res.CPI()/base.Res.CPI())
 		}
 		return vals, nil
 	})
@@ -192,26 +183,22 @@ func Figure5(opts Options) (*Figure5Result, error) {
 	}
 	outs, err := parBench(opts, func(bench string) (benchOut, error) {
 		var bo benchOut
-		tr, err := genTrace(opts, bench)
-		if err != nil {
-			return bo, err
-		}
 		var monoCPI float64
 		for _, k := range configs {
-			out, err := runStack(opts, bench, tr, k, StackFocused, false)
+			out, err := sim(opts, bench, k, StackFocused, false, engine.NeedResult|engine.NeedMachine)
 			if err != nil {
 				return bo, err
 			}
 			if k == 1 {
-				monoCPI = out.res.CPI()
+				monoCPI = out.Res.CPI()
 			}
-			a, err := critpath.AnalyzeRun(out.m)
+			a, err := out.Analysis()
 			if err != nil {
 				return bo, err
 			}
-			n := float64(out.res.Insts)
+			n := float64(out.Res.Insts)
 			norm := 1.0 / (n * monoCPI)
-			name := out.res.ConfigName
+			name := out.Res.ConfigName
 			bo.rows = append(bo.rows, BreakdownRow{
 				Bench:      bench,
 				Config:     name,

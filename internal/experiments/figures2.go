@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"clustersim/internal/critpath"
+	"clustersim/internal/engine"
 	"clustersim/internal/machine"
 	"clustersim/internal/stats"
 )
@@ -27,15 +27,11 @@ func Figure8(opts Options) (*Figure8Result, error) {
 	opts = opts.withDefaults()
 	const bins = 20
 	hists, err := parBench(opts, func(bench string) ([]float64, error) {
-		tr, err := genTrace(opts, bench)
+		out, err := sim(opts, bench, 4, StackFocused, true, engine.NeedExact)
 		if err != nil {
 			return nil, err
 		}
-		out, err := runStack(opts, bench, tr, 4, StackFocused, true)
-		if err != nil {
-			return nil, err
-		}
-		return out.exact.Histogram(bins), nil
+		return out.Exact().Histogram(bins), nil
 	})
 	if err != nil {
 		return nil, err
@@ -115,37 +111,33 @@ func Figure14(opts Options) (*Figure14Result, error) {
 		haveGV    bool
 	}
 	cells, err := parBench(opts, func(bench string) ([]cell, error) {
-		tr, err := genTrace(opts, bench)
-		if err != nil {
-			return nil, err
-		}
 		// Normalization baseline: monolithic with LoC-based scheduling.
-		base, err := runStack(opts, bench, tr, 1, StackLoC, false)
+		base, err := sim(opts, bench, 1, StackLoC, false, engine.NeedResult)
 		if err != nil {
 			return nil, err
 		}
-		baseCPI := base.res.CPI()
+		baseCPI := base.Res.CPI()
 		var out []cell
 		for _, k := range clusterCounts {
 			for _, stack := range Stacks() {
-				run, err := runStack(opts, bench, tr, k, stack, false)
+				run, err := sim(opts, bench, k, stack, false, engine.NeedResult|engine.NeedMachine)
 				if err != nil {
 					return nil, err
 				}
-				a, err := critpath.AnalyzeRun(run.m)
+				a, err := run.Analysis()
 				if err != nil {
 					return nil, err
 				}
-				norm := 1.0 / (float64(run.res.Insts) * baseCPI)
+				norm := 1.0 / (float64(run.Res.Insts) * baseCPI)
 				c := cell{
-					name:    run.res.ConfigName,
+					name:    run.Res.ConfigName,
 					stack:   stack,
-					normCPI: run.res.CPI() / baseCPI,
+					normCPI: run.Res.CPI() / baseCPI,
 					fwd:     float64(a.Breakdown.FwdDelay) * norm,
 					cont:    float64(a.Breakdown.Contention) * norm,
 				}
 				if stack == StackProactive {
-					c.gv = run.res.GlobalValuesPerInst()
+					c.gv = run.Res.GlobalValuesPerInst()
 					c.haveGV = true
 				}
 				out = append(out, c)
@@ -252,15 +244,11 @@ type Figure15Result struct {
 func Figure15(opts Options) (*Figure15Result, error) {
 	opts = opts.withDefaults()
 	results, err := parBench(opts, func(bench string) (machine.Result, error) {
-		tr, err := genTrace(opts, bench)
+		out, err := sim(opts, bench, 8, StackProactive, false, engine.NeedResult)
 		if err != nil {
 			return machine.Result{}, err
 		}
-		out, err := runStack(opts, bench, tr, 8, StackProactive, false)
-		if err != nil {
-			return machine.Result{}, err
-		}
-		return out.res, nil
+		return out.Res, nil
 	})
 	if err != nil {
 		return nil, err

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"clustersim/internal/engine"
 	"clustersim/internal/listsched"
 	"clustersim/internal/machine"
 	"clustersim/internal/stats"
-	"clustersim/internal/steer"
 )
 
 // ReplicationResult tests footnote 4 of the paper: "Instruction
@@ -44,14 +44,13 @@ func Replication(opts Options) (*ReplicationResult, error) {
 		if err != nil {
 			return o, err
 		}
-		cfg1 := machine.NewConfig(1)
-		cfg1.FwdLatency = opts.Fwd
-		m, err := machine.New(cfg1, tr, steer.DepBased{}, machine.Hooks{})
+		a, err := sim(opts, bench, 1, StackDepBased, false, engine.NeedMachine)
 		if err != nil {
 			return o, err
 		}
-		m.Run()
-		in := listsched.FromMachineRun(m)
+		cfg1 := machine.NewConfig(1)
+		cfg1.FwdLatency = opts.Fwd
+		in := listsched.FromMachineRun(a.Machine())
 		pri := listsched.NewOracle(in)
 		mono, err := listsched.Run(in, listsched.ConfigFor(cfg1), pri)
 		if err != nil {

@@ -1,0 +1,162 @@
+// Package metrics is the experiment engine's lightweight observability
+// layer: named atomic counters and wall-time accumulators collected in a
+// Registry, a plain-text dump for terminals and scrapers, and an
+// optional HTTP endpoint that also exposes the standard pprof profiles.
+//
+// The package is dependency-free (standard library only) and safe for
+// concurrent use; counter updates are single atomic adds so they are
+// cheap enough to sit on simulator hot paths.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically adjusted int64 (decrements are allowed for
+// gauges such as cache occupancy).
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Timer accumulates wall time and an observation count.
+type Timer struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe records one timed operation.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.count.Add(1)
+}
+
+// TotalNs returns the accumulated nanoseconds.
+func (t *Timer) TotalNs() int64 { return t.ns.Load() }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Mean returns the mean duration per observation (0 when empty).
+func (t *Timer) Mean() time.Duration {
+	n := t.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.ns.Load() / n)
+}
+
+// Registry is a namespace of counters and timers. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot returns a point-in-time view of every metric. Timers expand
+// to "<name>.ns" and "<name>.count" entries.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+2*len(r.timers))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, t := range r.timers {
+		out[name+".ns"] = t.TotalNs()
+		out[name+".count"] = t.Count()
+	}
+	return out
+}
+
+// WriteText dumps the registry as sorted "name value" lines.
+func (r *Registry) WriteText(w io.Writer) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, snap[name])
+	}
+}
+
+// Handler returns an HTTP handler exposing the registry at /metrics and
+// the standard pprof profiles under /debug/pprof/.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve exposes Handler(r) on addr in a background goroutine and returns
+// the bound address (useful with ":0"). The listener stays open for the
+// life of the process; it exists to observe long experiment runs, not to
+// be a managed server.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

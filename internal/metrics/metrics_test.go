@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndTimer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("engine.sim.hit")
+	c.Inc()
+	c.Add(2)
+	if got := c.Load(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if r.Counter("engine.sim.hit") != c {
+		t.Error("Counter did not return the same instance for the same name")
+	}
+	tm := r.Timer("engine.sim.run")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(4 * time.Millisecond)
+	if tm.Count() != 2 {
+		t.Errorf("timer count = %d, want 2", tm.Count())
+	}
+	if tm.TotalNs() != int64(6*time.Millisecond) {
+		t.Errorf("timer total = %d", tm.TotalNs())
+	}
+	if tm.Mean() != 3*time.Millisecond {
+		t.Errorf("timer mean = %v", tm.Mean())
+	}
+}
+
+func TestTimerMeanEmpty(t *testing.T) {
+	var tm Timer
+	if tm.Mean() != 0 {
+		t.Error("mean of empty timer should be 0")
+	}
+}
+
+func TestSnapshotAndWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(7)
+	r.Counter("a").Add(1)
+	r.Timer("t").Observe(time.Microsecond)
+	snap := r.Snapshot()
+	if snap["b"] != 7 || snap["a"] != 1 || snap["t.count"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	// Sorted order: a before b before t.*.
+	if !strings.Contains(out, "a 1\n") || !strings.Contains(out, "b 7\n") {
+		t.Errorf("text dump missing counters:\n%s", out)
+	}
+	if strings.Index(out, "a 1") > strings.Index(out, "b 7") {
+		t.Errorf("text dump not sorted:\n%s", out)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Timer("t").Observe(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Load(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Timer("t").Count(); got != 8000 {
+		t.Errorf("timer count = %d, want 8000", got)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.sim.miss").Add(5)
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "engine.sim.miss 5") {
+		t.Errorf("metrics endpoint body:\n%s", body)
+	}
+	// pprof index should answer too.
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof status = %d", resp2.StatusCode)
+	}
+}

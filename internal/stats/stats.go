@@ -23,8 +23,11 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs (0 for empty input; panics on
-// non-positive values, which would indicate a bug upstream).
+// GeoMean returns the geometric mean of xs (0 for empty input). The
+// geometric mean is undefined for non-positive values; rather than
+// panicking deep inside a driver, GeoMean reports that case as NaN,
+// which any table or comparison will surface visibly. Use
+// math.IsNaN to detect it programmatically.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -32,7 +35,7 @@ func GeoMean(xs []float64) float64 {
 	var sum float64
 	for _, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+			return math.NaN()
 		}
 		sum += math.Log(x)
 	}

@@ -11,6 +11,12 @@ func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Error("Mean(nil) != 0")
 	}
+	if Mean([]float64{}) != 0 {
+		t.Error("Mean(empty) != 0")
+	}
+	if got := Mean([]float64{7}); got != 7 {
+		t.Errorf("Mean(single) = %v", got)
+	}
 	if got := Mean([]float64{1, 2, 3}); got != 2 {
 		t.Errorf("Mean = %v", got)
 	}
@@ -20,16 +26,22 @@ func TestGeoMean(t *testing.T) {
 	if GeoMean(nil) != 0 {
 		t.Error("GeoMean(nil) != 0")
 	}
+	if GeoMean([]float64{}) != 0 {
+		t.Error("GeoMean(empty) != 0")
+	}
+	if got := GeoMean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("GeoMean(single) = %v", got)
+	}
 	got := GeoMean([]float64{1, 4})
 	if math.Abs(got-2) > 1e-12 {
 		t.Errorf("GeoMean = %v", got)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("GeoMean accepted non-positive value")
+	// Non-positive inputs are undefined: reported as NaN, never a panic.
+	for _, xs := range [][]float64{{1, 0}, {-2}, {2, -1, 3}} {
+		if got := GeoMean(xs); !math.IsNaN(got) {
+			t.Errorf("GeoMean(%v) = %v, want NaN", xs, got)
 		}
-	}()
-	GeoMean([]float64{1, 0})
+	}
 }
 
 func TestTable(t *testing.T) {
@@ -71,6 +83,29 @@ func TestTableRowMismatchPanics(t *testing.T) {
 		}
 	}()
 	tb.AddRow("x", 1)
+}
+
+func TestTableEmptyRender(t *testing.T) {
+	tb := &Table{Title: "empty", Columns: []string{"a", "b"}}
+	var buf bytes.Buffer
+	tb.Render(&buf) // header only, no rows — must not panic
+	out := buf.String()
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "a") {
+		t.Errorf("empty table render: %q", out)
+	}
+}
+
+func TestTableSingleRow(t *testing.T) {
+	tb := &Table{Columns: []string{"v"}}
+	tb.AddRow("only", 5)
+	if m := tb.ColumnMeans(); m[0] != 5 {
+		t.Errorf("single-row means = %v", m)
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "5.000") {
+		t.Errorf("single-row render: %q", buf.String())
+	}
 }
 
 func TestColumnMeansEmpty(t *testing.T) {
