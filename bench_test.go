@@ -11,6 +11,9 @@ import (
 	"testing"
 
 	"clustersim/internal/experiments"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
 )
 
 // benchOpts keeps per-iteration work bounded so the harness completes in
@@ -208,6 +211,50 @@ func BenchmarkSim4x2w(b *testing.B) { benchSim(b, 4, "focused") }
 func BenchmarkSim8x1w(b *testing.B) { benchSim(b, 8, "focused") }
 
 func BenchmarkSim8x1wProactive(b *testing.B) { benchSim(b, 8, "proactive") }
+
+// benchMachine times the bare machine hot loop on the Figure-4 focused
+// stack, comparing the wakeup-driven scheduler with pooled machines
+// (oracle=false) against the preserved full-scan reference loop with a
+// fresh machine per run (oracle=true). BENCH_machine.json records the
+// same comparison via `clustersim -bench-json`.
+func benchMachine(b *testing.B, clusters int, oracle bool) {
+	tr, err := GenerateTrace("vpr", 50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.NewConfig(clusters)
+	cfg.SchedMode = machine.SchedBinaryCritical
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hooks := machine.Hooks{Binary: predictor.NewDefaultBinary()}
+		var m *machine.Machine
+		var err error
+		if oracle {
+			m, err = machine.New(cfg, tr, steer.Focused{}, hooks)
+		} else {
+			m, err = machine.NewPooled(cfg, tr, steer.Focused{}, hooks)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if oracle {
+			m.UseOracleIssue(true)
+		}
+		m.Run()
+		if !oracle {
+			machine.Recycle(m)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+func BenchmarkMachineWakeup1x(b *testing.B) { benchMachine(b, 1, false) }
+func BenchmarkMachineWakeup2x(b *testing.B) { benchMachine(b, 2, false) }
+func BenchmarkMachineWakeup4x(b *testing.B) { benchMachine(b, 4, false) }
+func BenchmarkMachineOracle1x(b *testing.B) { benchMachine(b, 1, true) }
+func BenchmarkMachineOracle2x(b *testing.B) { benchMachine(b, 2, true) }
+func BenchmarkMachineOracle4x(b *testing.B) { benchMachine(b, 4, true) }
 
 func BenchmarkListScheduler(b *testing.B) {
 	tr, err := GenerateTrace("gzip", 50_000, 1)

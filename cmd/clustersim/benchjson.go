@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+// benchPoint is one (benchmark, cluster count) cell of the Figure-4-style
+// machine sweep: the wakeup-driven scheduler with pooled machines against
+// the pre-optimization full-scan loop with per-run allocation.
+type benchPoint struct {
+	Bench    string `json:"bench"`
+	Clusters int    `json:"clusters"`
+	Insts    int    `json:"insts"`
+	Runs     int    `json:"runs"`
+
+	WakeupNsPerRun float64 `json:"wakeup_ns_per_run"`
+	OracleNsPerRun float64 `json:"oracle_ns_per_run"`
+	Speedup        float64 `json:"speedup"`
+
+	WakeupAllocsPerRun float64 `json:"wakeup_allocs_per_run"`
+	OracleAllocsPerRun float64 `json:"oracle_allocs_per_run"`
+	AllocRatio         float64 `json:"alloc_ratio"`
+
+	WakeupMInstsPerSec float64 `json:"wakeup_minsts_per_sec"`
+}
+
+// benchReport is the BENCH_machine.json schema; CI uploads it so the
+// simulator-throughput trajectory is tracked per commit.
+type benchReport struct {
+	Schema            string       `json:"schema"`
+	GoVersion         string       `json:"go_version"`
+	Insts             int          `json:"insts"`
+	Seed              uint64       `json:"seed"`
+	Points            []benchPoint `json:"points"`
+	GeomeanSpeedup    float64      `json:"geomean_speedup"`
+	GeomeanAllocRatio float64      `json:"geomean_alloc_ratio"`
+}
+
+// measure times runs of fn until minDuration has elapsed (at least
+// minRuns), returning ns/run and heap allocations/run.
+func measure(fn func(), minRuns int, minDuration time.Duration) (nsPerRun, allocsPerRun float64, runs int) {
+	fn() // warm caches and the machine pool outside the timed region
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for runs < minRuns || time.Since(start) < minDuration {
+		fn()
+		runs++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(runs),
+		float64(after.Mallocs-before.Mallocs) / float64(runs), runs
+}
+
+// runBenchJSON executes the machine sweep (the Figure 4 benchmark set
+// across 1/2/4 clusters under the focused stack) and writes the report.
+func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string) error {
+	if len(benches) == 0 {
+		benches = []string{"gzip", "vpr", "gcc", "mcf"}
+	}
+	rep := benchReport{
+		Schema:    "clustersim/bench-machine/v1",
+		GoVersion: runtime.Version(),
+		Insts:     insts,
+		Seed:      seed,
+	}
+	logSpeed := 0.0
+	logAlloc := 0.0
+	for _, bench := range benches {
+		tr, err := workload.Generate(bench, insts, seed)
+		if err != nil {
+			return err
+		}
+		for _, clusters := range []int{1, 2, 4} {
+			cfg := machine.NewConfig(clusters)
+			cfg.FwdLatency = fwd
+			cfg.SchedMode = machine.SchedBinaryCritical
+
+			run := func(oracle bool) func() {
+				return func() {
+					hooks := machine.Hooks{Binary: predictor.NewDefaultBinary()}
+					var m *machine.Machine
+					var err error
+					if oracle {
+						m, err = machine.New(cfg, tr, steer.Focused{}, hooks)
+					} else {
+						m, err = machine.NewPooled(cfg, tr, steer.Focused{}, hooks)
+					}
+					if err != nil {
+						panic(err)
+					}
+					if oracle {
+						m.UseOracleIssue(true)
+					}
+					m.Run()
+					if !oracle {
+						machine.Recycle(m)
+					}
+				}
+			}
+			wNs, wAllocs, runs := measure(run(false), 3, 150*time.Millisecond)
+			oNs, oAllocs, _ := measure(run(true), 3, 150*time.Millisecond)
+
+			pt := benchPoint{
+				Bench: bench, Clusters: clusters, Insts: insts,
+				Runs:           runs,
+				WakeupNsPerRun: wNs, OracleNsPerRun: oNs,
+				Speedup:            oNs / wNs,
+				WakeupAllocsPerRun: wAllocs, OracleAllocsPerRun: oAllocs,
+				AllocRatio:         oAllocs / math.Max(wAllocs, 1),
+				WakeupMInstsPerSec: float64(insts) / wNs * 1e3,
+			}
+			rep.Points = append(rep.Points, pt)
+			logSpeed += math.Log(pt.Speedup)
+			logAlloc += math.Log(pt.AllocRatio)
+			fmt.Fprintf(os.Stderr, "bench %-6s %dx: wakeup %.1fms oracle %.1fms speedup %.2fx allocs %.0f vs %.0f (%.0fx)\n",
+				bench, clusters, wNs/1e6, oNs/1e6, pt.Speedup, wAllocs, oAllocs, pt.AllocRatio)
+		}
+	}
+	n := float64(len(rep.Points))
+	rep.GeomeanSpeedup = math.Exp(logSpeed / n)
+	rep.GeomeanAllocRatio = math.Exp(logAlloc / n)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "geomean speedup %.2fx, geomean alloc ratio %.1fx -> %s\n",
+		rep.GeomeanSpeedup, rep.GeomeanAllocRatio, path)
+	return nil
+}

@@ -31,6 +31,8 @@
 //	-cache-dir s   persist traces and results here across runs
 //	-cache-mem int in-memory cache budget in MiB (default 1024)
 //	-metrics addr  serve /metrics and /debug/pprof on this address
+//	-bench-json f  run the machine micro-benchmark sweep and write f
+//	               (wakeup vs oracle scheduler; ns/run and allocs/run)
 package main
 
 import (
@@ -56,6 +58,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "on-disk cache directory for traces and results (empty: memory only)")
 	cacheMem := flag.Int64("cache-mem", engine.DefaultMaxCacheBytes>>20, "in-memory cache budget in MiB (<0: unlimited)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	benchJSON := flag.String("bench-json", "", "run the machine micro-benchmark sweep (wakeup vs oracle scheduler) and write its JSON report here")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: clustersim [flags] <experiment> ...")
 		fmt.Fprintln(os.Stderr, "experiments: config fig2 fig2-attrib fig4 fig5 fig6 fig8 fig14 fig14-detail fig15 loc-oracle consumers fwd-sweep stall-sweep slack detector-compare window-sweep bandwidth-sweep replication icost group-steer predictor-sweep workloads future-work all")
@@ -85,6 +88,14 @@ func main() {
 	opts := experiments.Options{Insts: *n, Seed: *seed, Fwd: *fwd, Engine: eng}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *n, *seed, *fwd, opts.Benchmarks); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim: bench-json:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *report != "" {

@@ -38,6 +38,15 @@ func resultArtifact(res machine.Result) *Artifact {
 	return &Artifact{Res: res}
 }
 
+// NewResultArtifact wraps a run whose machine has already been released
+// — typically recycled to the machine pool by a job whose caller only
+// declared NeedResult. It serves the Result summary (and the exact
+// tracker when given) but cannot serve NeedMachine or Analysis; the
+// engine re-simulates if such a need arrives later.
+func NewResultArtifact(res machine.Result, exact *predictor.Exact) *Artifact {
+	return &Artifact{Res: res, exact: exact}
+}
+
 // Machine returns the live post-run machine, or nil for result-only
 // artifacts. The machine must be treated as read-only.
 func (a *Artifact) Machine() *machine.Machine {

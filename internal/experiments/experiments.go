@@ -170,7 +170,10 @@ func sim(opts Options, bench string, clusters int, stack Stack, trackExact bool,
 		if err != nil {
 			return nil, err
 		}
-		return simulate(opts, bench, tr, clusters, stack, trackExact)
+		// Result-only jobs recycle their machine into the pool the moment
+		// the run finishes; only callers that will actually read events
+		// keep the machine alive in the artifact.
+		return simulate(opts, bench, tr, clusters, stack, trackExact, need&engine.NeedMachine != 0)
 	})
 }
 
@@ -195,16 +198,23 @@ func runStack(opts Options, bench string, _ *trace.Trace, clusters int, stack St
 // predictors. trackExact additionally records unlimited-precision
 // criticality frequencies. This is the engine job body; everything it
 // does is determined by (opts, bench, clusters, stack, trackExact).
-func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack Stack, trackExact bool) (*engine.Artifact, error) {
+// keepMachine controls the machine's lifetime: callers that never read
+// per-instruction events let the run return a result-only artifact and
+// recycle the machine (with its megabytes of event log) into the pool.
+func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack Stack, trackExact, keepMachine bool) (*engine.Artifact, error) {
 	cfg := machine.NewConfig(clusters)
 	cfg.FwdLatency = opts.Fwd
 
 	if stack == StackDepBased {
-		m, err := machine.New(cfg, tr, steer.DepBased{}, machine.Hooks{EpochLen: opts.EpochLen})
+		m, err := machine.NewPooled(cfg, tr, steer.DepBased{}, machine.Hooks{EpochLen: opts.EpochLen})
 		if err != nil {
 			return nil, err
 		}
 		res := m.Run()
+		if !keepMachine {
+			machine.Recycle(m)
+			return engine.NewResultArtifact(res, nil), nil
+		}
 		return engine.NewArtifact(m, res, nil), nil
 	}
 
@@ -242,11 +252,15 @@ func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack S
 	}
 	hooks.OnEpoch = det.OnEpoch
 
-	m, err := machine.New(cfg, tr, pol, hooks)
+	m, err := machine.NewPooled(cfg, tr, pol, hooks)
 	if err != nil {
 		return nil, err
 	}
 	det.Bind(m)
 	res := m.Run()
+	if !keepMachine {
+		machine.Recycle(m)
+		return engine.NewResultArtifact(res, exact), nil
+	}
 	return engine.NewArtifact(m, res, exact), nil
 }

@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"fmt"
+	"slices"
+
+	"clustersim/internal/isa"
+)
+
+// Check audits a finished run against the machine's structural
+// invariants and returns the first violation found (nil if the run is
+// clean). It is the test layer's safety net around the wakeup-driven
+// scheduler: the property tests, the golden tests and the trace fuzzer
+// all route through it. The checks are intentionally independent of the
+// issue-loop implementation — they re-derive every bound from Events()
+// and the configuration alone:
+//
+//   - every instruction commits, with ordered per-instruction timestamps
+//   - commits are in program order, at most CommitWidth per cycle
+//   - no instruction issues before its operands are available (producer
+//     completion locally, forwarded RemoteAvail across clusters)
+//   - per-cluster issue width and functional-unit mix are never exceeded
+//   - fetch and dispatch group widths are never exceeded
+//   - scheduling-window occupancy stays within WindowPerCluster and
+//     drains to zero
+//   - an instruction never dispatches before its ROB slot is freed
+//
+// Check is O(n) in trace length with map-sized constants; it is meant
+// for tests, not for the simulation hot path.
+func Check(m *Machine) error {
+	ev := m.Events()
+	cfg := m.Config()
+	tr := m.Trace()
+
+	type slot struct {
+		cluster int64
+		cycle   int64
+		fu      isa.FU
+	}
+	issuePerCycle := map[[2]int64]int{}
+	fuPerCycle := map[slot]int{}
+	commitPerCycle := map[int64]int{}
+	fetchPerCycle := map[int64]int{}
+	dispatchPerCycle := map[int64]int{}
+	prevCommit := int64(-1)
+	for i := range ev {
+		e := &ev[i]
+		if e.Commit == Unset {
+			return fmt.Errorf("machine check: inst %d never committed", i)
+		}
+		if e.Fetch < 0 || e.Dispatch < e.Fetch+int64(cfg.PipelineDepth) ||
+			e.Ready < e.Dispatch+1 || e.Issue < e.Ready ||
+			e.Complete <= e.Issue || e.Commit <= e.Complete {
+			return fmt.Errorf("machine check: inst %d has inconsistent timestamps: %+v", i, *e)
+		}
+		if e.Cluster < 0 || int(e.Cluster) >= cfg.Clusters {
+			return fmt.Errorf("machine check: inst %d on cluster %d of %d", i, e.Cluster, cfg.Clusters)
+		}
+		if e.Commit < prevCommit {
+			return fmt.Errorf("machine check: inst %d commits at %d before predecessor at %d", i, e.Commit, prevCommit)
+		}
+		prevCommit = e.Commit
+		commitPerCycle[e.Commit]++
+		fetchPerCycle[e.Fetch]++
+		dispatchPerCycle[e.Dispatch]++
+		issuePerCycle[[2]int64{int64(e.Cluster), e.Issue}]++
+		fuPerCycle[slot{int64(e.Cluster), e.Issue, tr.Insts[i].Op.FU()}]++
+
+		// Dataflow: issue must not precede operand availability — the
+		// producer's completion in the same cluster, its (broadcast-slot
+		// and forwarding-delayed) RemoteAvail across clusters.
+		for _, p := range tr.ProducerSpan(i) {
+			pe := &ev[p]
+			avail := pe.Complete
+			if pe.Cluster != e.Cluster {
+				avail = pe.RemoteAvail
+			}
+			if e.Issue < avail {
+				return fmt.Errorf("machine check: inst %d issued at %d before operand from %d available at %d",
+					i, e.Issue, p, avail)
+			}
+		}
+		// ROB capacity.
+		if i >= cfg.ROBSize {
+			if e.Dispatch < ev[i-cfg.ROBSize].Commit {
+				return fmt.Errorf("machine check: inst %d dispatched at %d before ROB slot freed at %d",
+					i, e.Dispatch, ev[i-cfg.ROBSize].Commit)
+			}
+		}
+	}
+	for key, n := range issuePerCycle {
+		if n > cfg.IssuePerCluster {
+			return fmt.Errorf("machine check: cluster %d issued %d > %d at cycle %d", key[0], n, cfg.IssuePerCluster, key[1])
+		}
+	}
+	fuCap := map[isa.FU]int{isa.FUInt: cfg.IntPerCluster, isa.FUFP: cfg.FPPerCluster, isa.FUMem: cfg.MemPerCluster}
+	for s, n := range fuPerCycle {
+		if limit, ok := fuCap[s.fu]; ok && n > limit {
+			return fmt.Errorf("machine check: cluster %d issued %d %v ops > %d at cycle %d", s.cluster, n, s.fu, limit, s.cycle)
+		}
+	}
+	for cyc, n := range commitPerCycle {
+		if n > cfg.CommitWidth {
+			return fmt.Errorf("machine check: committed %d > %d at cycle %d", n, cfg.CommitWidth, cyc)
+		}
+	}
+	for cyc, n := range fetchPerCycle {
+		if n > cfg.FetchWidth {
+			return fmt.Errorf("machine check: fetched %d > %d at cycle %d", n, cfg.FetchWidth, cyc)
+		}
+	}
+	for cyc, n := range dispatchPerCycle {
+		if n > cfg.DispatchWidth {
+			return fmt.Errorf("machine check: dispatched %d > %d at cycle %d", n, cfg.DispatchWidth, cyc)
+		}
+	}
+
+	// Window capacity: line-sweep per cluster over [dispatch, issue).
+	type delta struct {
+		cyc int64
+		d   int
+	}
+	perCluster := make([][]delta, cfg.Clusters)
+	for i := range ev {
+		c := int(ev[i].Cluster)
+		perCluster[c] = append(perCluster[c], delta{ev[i].Dispatch, 1}, delta{ev[i].Issue, -1})
+	}
+	for c, ds := range perCluster {
+		byCycle := map[int64]int{}
+		for _, d := range ds {
+			byCycle[d.cyc] += d.d
+		}
+		cycles := make([]int64, 0, len(byCycle))
+		for cyc := range byCycle {
+			cycles = append(cycles, cyc)
+		}
+		slices.Sort(cycles)
+		occ := 0
+		for _, cyc := range cycles {
+			occ += byCycle[cyc]
+			if occ > cfg.WindowPerCluster {
+				return fmt.Errorf("machine check: cluster %d window occupancy %d > %d at cycle %d",
+					c, occ, cfg.WindowPerCluster, cyc)
+			}
+		}
+		if occ != 0 {
+			return fmt.Errorf("machine check: cluster %d occupancy did not return to zero", c)
+		}
+	}
+	return nil
+}

@@ -3,6 +3,12 @@ package machine
 // Unset marks an event time that has not happened (yet).
 const Unset int64 = -1
 
+// fetchBlocked parks Machine.fetchResume while a mispredicted branch is
+// unresolved: effectively-infinite, but distinguishable from a concrete
+// resume cycle so the next-event clock knows fetch is waiting on an issue
+// event rather than on a timer.
+const fetchBlocked = int64(1) << 62
+
 // DispatchReason records the last-arriving constraint on an instruction's
 // dispatch, used by the critical-path walker to pick the incoming edge of
 // a D node.

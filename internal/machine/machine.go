@@ -37,8 +37,19 @@ type Hooks struct {
 }
 
 // Machine is one simulated processor configuration bound to a trace and a
-// steering policy. A Machine is single-use state plus a Run method; call
-// Run once (it resets state itself).
+// steering policy. Call Run to simulate (it resets state itself); Reinit
+// rebinds the machine to a new configuration/trace/policy while reusing
+// its allocations, which is what the NewPooled/Recycle pool builds on.
+//
+// The scheduler is wakeup-driven: instead of rescanning every window
+// entry every cycle, each dispatched instruction counts its unissued
+// producers and is pushed onto its cluster's wake heap (a min-heap on
+// ready cycle) the moment the last producer issues — the point at which
+// its ready time, binding producer and remoteness are fixed forever.
+// Matured entries move to per-cluster ready lists, and stretches of
+// cycles that provably perform no work are skipped by a next-event clock
+// (idleCycles). The pre-optimization full-scan loop is retained verbatim
+// behind UseOracleIssue as the reference for differential testing.
 type Machine struct {
 	cfg    Config
 	tr     *trace.Trace
@@ -58,6 +69,24 @@ type Machine struct {
 	// ring of per-cycle counts, stamped lazily.
 	bcastStamp [][]int64
 	bcastCount [][]int16
+
+	// oracle selects the reference full-scan issue loop and disables the
+	// next-event clock (UseOracleIssue).
+	oracle bool
+
+	// Wakeup rings, indexed by seq & ringMask. Sized to the next power of
+	// two above ROBSize, so two in-flight instructions can never share a
+	// slot: a slot's next occupant is at least ringMask+1 > ROBSize
+	// sequence numbers younger and cannot dispatch until the current one
+	// has committed (and therefore issued, clearing the slot).
+	//
+	// pend[s]: outstanding (unissued) producer count of the waiter in s.
+	// prioRing[s]: that waiter's scheduling priority, held until wakeup.
+	// waiters[s]: dispatched consumers blocked on the producer in s.
+	ringMask int64
+	pend     []int32
+	prioRing []uint16
+	waiters  [][]int32
 
 	// Pipeline state.
 	cycle          int64
@@ -86,12 +115,12 @@ type Machine struct {
 	ilpIssued        [MaxILPBucket + 1]int64
 
 	// Scratch buffers.
-	candBuf  []candidate
-	prodBuf  []int32
-	viewBuf  SteerView
-	issueBuf []int64
-	occSnap  []int // start-of-cycle occupancies (GroupSteering)
-	budgets  []issueBudget
+	candBuf   []candidate
+	viewBuf   SteerView
+	retireBuf RetireView
+	occSnap []int // start-of-cycle occupancies (GroupSteering)
+	budgets []issueBudget
+	cursors []int // per-cluster ready-list cursors (issueMerge)
 
 	// readyCount[c] is the number of data-ready-but-unissued entries in
 	// cluster c's window as of this cycle's issue phase. Steering runs
@@ -99,10 +128,35 @@ type Machine struct {
 	// fresh view of readiness (Section 8's "global and accurate view of
 	// instruction readiness").
 	readyCount []int
+
+	// Reuse bookkeeping: what the current bp/l1 were built from, so
+	// Reinit can keep them when the geometry is unchanged.
+	bpBits uint
+	l1cfg  cache.Config
 }
 
 type clusterState struct {
+	occ int // window occupancy (both issue modes)
+
+	// Wakeup mode: wake is a min-heap (on ready cycle) of entries whose
+	// producers have all issued; ready holds matured, unissued entries,
+	// kept sorted by (prio, seq) so selection never re-sorts.
+	// Entries still waiting on producers exist only in the waiter rings.
+	wake  []wakeEntry
+	ready []wakeEntry
+
+	// Oracle mode: the flat window the reference loop scans per cycle.
 	entries []winEntry
+}
+
+// wakeEntry is a window entry whose readiness is fully determined: every
+// producer has issued, so ready/crit/remote are final.
+type wakeEntry struct {
+	seq    int64
+	ready  int64
+	crit   int64
+	prio   uint16
+	remote bool
 }
 
 type winEntry struct {
@@ -129,45 +183,99 @@ type candidate struct {
 
 // New builds a machine for cfg over tr using the given steering policy.
 func New(cfg Config, tr *trace.Trace, pol SteerPolicy, hooks Hooks) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
+	m := &Machine{}
+	if err := m.Reinit(cfg, tr, pol, hooks); err != nil {
 		return nil, err
-	}
-	if tr == nil || tr.Len() == 0 {
-		return nil, fmt.Errorf("machine: empty trace")
-	}
-	if pol == nil {
-		return nil, fmt.Errorf("machine: nil steering policy")
-	}
-	m := &Machine{
-		cfg:          cfg,
-		tr:           tr,
-		pol:          pol,
-		bp:           bpred.NewGshare(cfg.GshareBits),
-		l1:           cache.New(cfg.L1),
-		binary:       hooks.Binary,
-		loc:          hooks.LoC,
-		epochLen:     hooks.EpochLen,
-		onEpoch:      hooks.OnEpoch,
-		onCommitInst: hooks.OnCommitInst,
-		events:       make([]Event, tr.Len()),
-	}
-	if m.epochLen <= 0 {
-		m.epochLen = DefaultEpochLen
-	}
-	m.clusters = make([]clusterState, cfg.Clusters)
-	m.lastIssuedFrom = make([]int64, cfg.Clusters)
-	m.occSnap = make([]int, cfg.Clusters)
-	m.readyCount = make([]int, cfg.Clusters)
-	if cfg.BypassPerCluster > 0 {
-		m.bcastStamp = make([][]int64, cfg.Clusters)
-		m.bcastCount = make([][]int16, cfg.Clusters)
-		for c := range m.bcastStamp {
-			m.bcastStamp[c] = make([]int64, bcastRing)
-			m.bcastCount[c] = make([]int16, bcastRing)
-		}
 	}
 	return m, nil
 }
+
+// Reinit rebinds m to (cfg, tr, pol, hooks), reusing the event log,
+// cluster state, wakeup rings and broadcast rings from previous runs
+// wherever capacities allow. It leaves m in the same state New leaves a
+// fresh machine in; NewPooled/Recycle build the allocation-free reuse
+// path on top of it.
+func (m *Machine) Reinit(cfg Config, tr *trace.Trace, pol SteerPolicy, hooks Hooks) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return fmt.Errorf("machine: empty trace")
+	}
+	if pol == nil {
+		return fmt.Errorf("machine: nil steering policy")
+	}
+	// Pre-build the shared producer index outside the hot loop (also
+	// makes sharing tr across concurrent machines safe).
+	tr.EnsureProducerIndex()
+
+	m.cfg, m.tr, m.pol = cfg, tr, pol
+	m.binary, m.loc = hooks.Binary, hooks.LoC
+	m.epochLen = hooks.EpochLen
+	if m.epochLen <= 0 {
+		m.epochLen = DefaultEpochLen
+	}
+	m.onEpoch, m.onCommitInst = hooks.OnEpoch, hooks.OnCommitInst
+	m.oracle = false
+
+	if n := tr.Len(); cap(m.events) >= n {
+		m.events = m.events[:n]
+	} else {
+		m.events = make([]Event, n)
+	}
+	if m.bp == nil || m.bpBits != cfg.GshareBits {
+		m.bp, m.bpBits = bpred.NewGshare(cfg.GshareBits), cfg.GshareBits
+	}
+	if m.l1 == nil || m.l1cfg != cfg.L1 {
+		m.l1, m.l1cfg = cache.New(cfg.L1), cfg.L1
+	}
+	if cap(m.clusters) >= cfg.Clusters {
+		m.clusters = m.clusters[:cfg.Clusters]
+	} else {
+		cl := make([]clusterState, cfg.Clusters)
+		copy(cl, m.clusters[:cap(m.clusters)]) // keep recycled per-cluster slices
+		m.clusters = cl
+	}
+	m.lastIssuedFrom = resize(m.lastIssuedFrom, cfg.Clusters)
+	m.occSnap = resize(m.occSnap, cfg.Clusters)
+	m.readyCount = resize(m.readyCount, cfg.Clusters)
+	m.budgets = resize(m.budgets, cfg.Clusters)
+	m.cursors = resize(m.cursors, cfg.Clusters)
+
+	ring := 1
+	for ring <= cfg.ROBSize {
+		ring <<= 1
+	}
+	if len(m.pend) < ring {
+		m.pend = make([]int32, ring)
+		m.prioRing = make([]uint16, ring)
+		m.waiters = make([][]int32, ring)
+	}
+	m.ringMask = int64(len(m.pend)) - 1
+
+	if cfg.BypassPerCluster > 0 {
+		for len(m.bcastStamp) < cfg.Clusters {
+			m.bcastStamp = append(m.bcastStamp, make([]int64, bcastRing))
+			m.bcastCount = append(m.bcastCount, make([]int16, bcastRing))
+		}
+	}
+	return nil
+}
+
+// resize returns s with length n, reallocating only when capacity is
+// short. Contents are unspecified; every user fully rewrites them.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// UseOracleIssue switches m to the pre-optimization reference scheduler:
+// a per-cycle full scan over every window entry, with no cycle skipping.
+// It exists for the differential and golden tests (the wakeup-driven
+// loop must be cycle-exact against it) and must be called before Run.
+func (m *Machine) UseOracleIssue(on bool) { m.oracle = on }
 
 // bcastRing sizes the broadcast-slot ring; broadcasts are scheduled at
 // most a few cycles past completion, far below this bound.
@@ -255,6 +363,18 @@ func (m *Machine) Run() Result {
 		m.dispatch()
 		m.fetch()
 		m.cycle++
+		if !m.oracle && m.commitIdx < n {
+			if skip := m.idleCycles(); skip > 0 {
+				// The reference loop would burn these cycles with an empty
+				// issue phase; mirror its available-ILP accounting (the
+				// in-flight/undispatched condition cannot change while no
+				// stage does work).
+				if m.dispatched > m.commitIdx || m.dispHead < n {
+					m.ilpAvail[0] += skip
+				}
+				m.cycle += skip
+			}
+		}
 	}
 	missRate, accesses := m.l1.MissRate()
 	return Result{
@@ -274,6 +394,82 @@ func (m *Machine) Run() Result {
 	}
 }
 
+// idleCycles returns how many cycles starting at m.cycle provably perform
+// no pipeline work, so Run's next-event clock can skip them. Soundness
+// rests on one rule: any cycle on which the steering stage would be
+// consulted (dispatch head delivered and the ROB has room) is never
+// skipped, because steering reads time-dependent state (a producer stays
+// Outstanding only until its value becomes globally visible) and policies
+// may mutate their own state per Steer call. Everything else — front-end
+// delivery bubbles, ROB-full stalls (whose pending-reason bookkeeping is
+// idempotent), post-misprediction fetch holds and in-flight latency
+// waits — replays identically cycle after cycle until the next event.
+func (m *Machine) idleCycles() int64 {
+	t := m.cycle
+	n := int64(m.tr.Len())
+	next := int64(-1)
+	consider := func(c int64) {
+		if next == -1 || c < next {
+			next = c
+		}
+	}
+
+	// Commit: the head retires on the first cycle strictly after its
+	// completion. An unissued head is bounded by the issue conditions.
+	if c := m.events[m.commitIdx].Complete; c != Unset {
+		if c+1 <= t {
+			return 0
+		}
+		consider(c + 1)
+	}
+
+	// Issue: matured-but-unissued entries guarantee work next cycle (the
+	// first sorted candidate of a cluster always fits the issue budget);
+	// otherwise the earliest wake-heap maturation bounds the skip.
+	for c := range m.clusters {
+		cs := &m.clusters[c]
+		if len(cs.ready) > 0 {
+			return 0
+		}
+		if len(cs.wake) > 0 {
+			if r := cs.wake[0].ready; r <= t {
+				return 0
+			} else {
+				consider(r)
+			}
+		}
+	}
+
+	// Dispatch/steering.
+	if m.dispHead < n {
+		if ev := &m.events[m.dispHead]; ev.Fetch != Unset {
+			delivered := ev.Fetch + int64(m.cfg.PipelineDepth)
+			switch {
+			case delivered > t:
+				consider(delivered)
+			case m.dispatched-m.commitIdx < int64(m.cfg.ROBSize):
+				return 0 // steering would run: never skip
+			}
+			// Delivered but ROB-full: stalled until the next commit,
+			// which the commit condition above already bounds.
+		}
+	}
+
+	// Fetch: blocked on an unresolved branch, it resumes only via an
+	// issue event (bounded above); otherwise fetchResume bounds it.
+	if m.nextFetch < n && m.fetchResume != fetchBlocked {
+		if m.fetchResume <= t {
+			return 0
+		}
+		consider(m.fetchResume)
+	}
+
+	if next <= t {
+		return 0 // no future event: don't skip (matches the scan loop)
+	}
+	return next - t
+}
+
 func (m *Machine) reset() {
 	for i := range m.events {
 		m.events[i].reset()
@@ -287,8 +483,26 @@ func (m *Machine) reset() {
 	m.commitIdx = 0
 	m.dispatched = 0
 	for c := range m.clusters {
-		m.clusters[c].entries = m.clusters[c].entries[:0]
+		cs := &m.clusters[c]
+		cs.occ = 0
+		cs.entries = cs.entries[:0]
+		cs.wake = cs.wake[:0]
+		cs.ready = cs.ready[:0]
 		m.lastIssuedFrom[c] = Unset
+	}
+	for i := range m.pend {
+		m.pend[i] = 0
+	}
+	for i := range m.waiters {
+		m.waiters[i] = m.waiters[i][:0]
+	}
+	// A pooled machine may carry broadcast stamps from a previous run
+	// whose cycle numbers could collide with this run's.
+	if m.cfg.BypassPerCluster > 0 {
+		for c := 0; c < m.cfg.Clusters; c++ {
+			clear(m.bcastStamp[c])
+			clear(m.bcastCount[c])
+		}
 	}
 	m.havePending = false
 	m.mispredicts = 0
@@ -313,8 +527,8 @@ func (m *Machine) commit() {
 			break
 		}
 		ev.Commit = m.cycle
-		rv := RetireView{m: m, seq: m.commitIdx}
-		m.pol.OnCommit(m.commitIdx, &rv)
+		m.retireBuf.m, m.retireBuf.seq = m, m.commitIdx
+		m.pol.OnCommit(m.commitIdx, &m.retireBuf)
 		if m.onCommitInst != nil {
 			m.onCommitInst(m.commitIdx)
 		}
@@ -328,13 +542,13 @@ func (m *Machine) commit() {
 // readyAt computes the cycle at which window entry seq has all operands
 // available at its cluster, or Unset if some producer has not issued.
 // It also reports the last-arriving producer and whether that operand
-// crossed clusters.
+// crossed clusters. Once every producer has issued the answer is fixed
+// forever, which is what lets the wakeup path compute it exactly once.
 func (m *Machine) readyAt(seq int64) (ready, crit int64, remote bool) {
 	ev := &m.events[seq]
 	ready = ev.Dispatch + 1
 	crit = Unset
-	m.prodBuf = m.tr.Producers(int(seq), m.prodBuf[:0])
-	for _, p32 := range m.prodBuf {
+	for _, p32 := range m.tr.ProducerSpan(int(seq)) {
 		p := int64(p32)
 		pev := &m.events[p]
 		if pev.Complete == Unset {
@@ -355,37 +569,134 @@ func (m *Machine) readyAt(seq int64) (ready, crit int64, remote bool) {
 }
 
 // issue selects and issues ready instructions at every cluster, subject
-// to per-cluster issue width and functional-unit mix.
+// to per-cluster issue width and functional-unit mix. The wakeup path
+// only touches entries whose readiness changed: wake-heap tops that
+// matured this cycle are binary-inserted into their cluster's ready list
+// (kept sorted by scheduling priority, then age), so selection is a
+// k-way merge over pre-sorted lists instead of the reference loop's
+// gather-everything-and-sort. The visited candidate order is identical
+// to the reference loop's sorted order by construction — (prio, seq) is
+// a total order — so the two paths issue exactly the same instructions.
 func (m *Machine) issue() {
-	m.candBuf = m.candBuf[:0]
-	for c := range m.clusters {
-		m.readyCount[c] = 0
-		entries := m.clusters[c].entries
-		for i := range entries {
-			e := &entries[i]
-			if e.ready == Unset {
-				ready, crit, remote := m.readyAt(e.seq)
-				if ready == Unset {
-					continue
-				}
-				e.ready, e.crit, e.remote = ready, crit, remote
-			}
-			if e.ready > m.cycle {
-				continue
-			}
-			m.readyCount[c]++
-			m.candBuf = append(m.candBuf, candidate{
-				seq: e.seq, cluster: c, prio: e.prio,
-				ready: e.ready, crit: e.crit, remote: e.remote,
-			})
-		}
+	if m.oracle {
+		m.issueScan()
+		return
 	}
-	avail := len(m.candBuf)
+	avail := 0
+	for c := range m.clusters {
+		cs := &m.clusters[c]
+		for len(cs.wake) > 0 && cs.wake[0].ready <= m.cycle {
+			cs.insertReady(cs.popWake())
+		}
+		m.readyCount[c] = len(cs.ready)
+		avail += len(cs.ready)
+	}
 	if avail == 0 {
 		if m.dispatched > m.commitIdx || m.dispHead < int64(m.tr.Len()) {
 			m.ilpAvail[0]++
 		}
 		return
+	}
+	issued := m.issueMerge()
+	if issued > 0 {
+		for c := range m.clusters {
+			cs := &m.clusters[c]
+			kept := cs.ready[:0]
+			for _, e := range cs.ready {
+				if m.events[e.seq].Issue == Unset {
+					kept = append(kept, e)
+				}
+			}
+			cs.ready = kept
+		}
+	}
+	bucket := avail
+	if bucket > MaxILPBucket {
+		bucket = MaxILPBucket
+	}
+	m.ilpAvail[bucket]++
+	m.ilpIssued[bucket] += int64(issued)
+}
+
+// issueMerge walks the per-cluster sorted ready lists in global
+// (prio, seq) order — always advancing the smallest head among clusters
+// with issue width left — applying the same width and FU budgets as the
+// reference selection, and stops early once every cluster's width is
+// spent. Skipping a width-exhausted cluster's remaining entries wholesale
+// is exactly what the reference loop's per-candidate width check does to
+// them one by one.
+func (m *Machine) issueMerge() int {
+	budgets := m.budgets
+	widthLeft := 0
+	for c := range budgets {
+		budgets[c] = issueBudget{m.cfg.IssuePerCluster, m.cfg.IntPerCluster, m.cfg.FPPerCluster, m.cfg.MemPerCluster}
+		widthLeft += m.cfg.IssuePerCluster
+		m.cursors[c] = 0
+	}
+	issued := 0
+	for widthLeft > 0 {
+		best := -1
+		var bestPrio uint16
+		var bestSeq int64
+		for c := range m.clusters {
+			if budgets[c].width == 0 {
+				continue
+			}
+			cur := m.cursors[c]
+			rl := m.clusters[c].ready
+			if cur >= len(rl) {
+				continue
+			}
+			e := &rl[cur]
+			if best == -1 || e.prio < bestPrio || (e.prio == bestPrio && e.seq < bestSeq) {
+				best, bestPrio, bestSeq = c, e.prio, e.seq
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := &m.clusters[best].ready[m.cursors[best]]
+		m.cursors[best]++
+		b := &budgets[best]
+		in := &m.tr.Insts[e.seq]
+		switch in.Op.FU() {
+		case isa.FUInt:
+			if b.integer == 0 {
+				continue
+			}
+			b.integer--
+		case isa.FUFP:
+			if b.fp == 0 {
+				continue
+			}
+			b.fp--
+		case isa.FUMem:
+			if b.mem == 0 {
+				continue
+			}
+			b.mem--
+		}
+		b.width--
+		widthLeft--
+		cd := candidate{seq: e.seq, cluster: best, prio: e.prio, ready: e.ready, crit: e.crit, remote: e.remote}
+		m.issueOne(&cd)
+		issued++
+	}
+	return issued
+}
+
+// issueSelect issues from the gathered candidates (oldest-first within
+// priority class, subject to per-cluster width and FU budgets), keeps the
+// available/issued ILP histograms, and returns how many issued. Both
+// issue paths share it, so the selection function is identical by
+// construction.
+func (m *Machine) issueSelect() int {
+	avail := len(m.candBuf)
+	if avail == 0 {
+		if m.dispatched > m.commitIdx || m.dispHead < int64(m.tr.Len()) {
+			m.ilpAvail[0]++
+		}
+		return 0
 	}
 	slices.SortFunc(m.candBuf, func(a, b candidate) int {
 		if a.prio != b.prio {
@@ -400,15 +711,11 @@ func (m *Machine) issue() {
 		return 0
 	})
 
-	if m.budgets == nil {
-		m.budgets = make([]issueBudget, m.cfg.Clusters)
-	}
 	budgets := m.budgets
 	for c := range budgets {
 		budgets[c] = issueBudget{m.cfg.IssuePerCluster, m.cfg.IntPerCluster, m.cfg.FPPerCluster, m.cfg.MemPerCluster}
 	}
 
-	m.issueBuf = m.issueBuf[:0]
 	issued := 0
 	for i := range m.candBuf {
 		cd := &m.candBuf[i]
@@ -436,21 +743,7 @@ func (m *Machine) issue() {
 		}
 		b.width--
 		m.issueOne(cd)
-		m.issueBuf = append(m.issueBuf, cd.seq)
 		issued++
-	}
-	// Remove issued entries from their windows.
-	if issued > 0 {
-		for c := range m.clusters {
-			entries := m.clusters[c].entries
-			kept := entries[:0]
-			for _, e := range entries {
-				if m.events[e.seq].Issue == Unset {
-					kept = append(kept, e)
-				}
-			}
-			m.clusters[c].entries = kept
-		}
 	}
 	bucket := avail
 	if bucket > MaxILPBucket {
@@ -458,11 +751,12 @@ func (m *Machine) issue() {
 	}
 	m.ilpAvail[bucket]++
 	m.ilpIssued[bucket] += int64(issued)
+	return issued
 }
 
 // issueOne executes one instruction: fixes its timestamps, accesses the
-// cache for memory operations, resolves blocking branches, and counts
-// global values.
+// cache for memory operations, wakes its consumers, resolves blocking
+// branches, and counts global values.
 func (m *Machine) issueOne(cd *candidate) {
 	seq := cd.seq
 	ev := &m.events[seq]
@@ -499,8 +793,7 @@ func (m *Machine) issueOne(cd *candidate) {
 
 	// Count global values: a producer's value becomes "global" the first
 	// time any consumer in another cluster reads it.
-	m.prodBuf = m.tr.Producers(int(seq), m.prodBuf[:0])
-	for _, p32 := range m.prodBuf {
+	for _, p32 := range m.tr.ProducerSpan(int(seq)) {
 		pev := &m.events[p32]
 		if pev.Cluster != ev.Cluster && !pev.globalCounted() {
 			pev.markGlobalCounted()
@@ -508,18 +801,133 @@ func (m *Machine) issueOne(cd *candidate) {
 		}
 	}
 
+	// Complete and RemoteAvail are final: wake the consumers waiting on
+	// this producer.
+	if !m.oracle {
+		m.wakeConsumers(seq)
+	}
+
 	if seq == m.blockingBranch {
 		m.fetchResume = ev.Complete + 1
 		m.redirectFrom = seq
 		m.blockingBranch = Unset
 	}
+	m.clusters[cd.cluster].occ--
 	m.lastIssuedFrom[cd.cluster] = seq
 	m.pol.OnIssue(seq, cd.cluster)
 }
 
+// wakeConsumers decrements the outstanding-producer count of every
+// consumer waiting on seq; consumers reaching zero have their (now
+// final) readiness computed and join their cluster's wake heap. A
+// consumer naming seq twice (both operands) is in the list twice and is
+// decremented twice, mirroring the double count taken at dispatch.
+func (m *Machine) wakeConsumers(seq int64) {
+	slot := seq & m.ringMask
+	ws := m.waiters[slot]
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		wseq := int64(w)
+		wslot := wseq & m.ringMask
+		m.pend[wslot]--
+		if m.pend[wslot] == 0 {
+			ready, crit, remote := m.readyAt(wseq)
+			m.clusters[m.events[wseq].Cluster].pushWake(wakeEntry{
+				seq: wseq, ready: ready, crit: crit,
+				prio: m.prioRing[wslot], remote: remote,
+			})
+		}
+	}
+	m.waiters[slot] = ws[:0]
+}
+
+// enqueue registers a freshly dispatched instruction with the wakeup
+// machinery: it either starts waiting on its unissued producers or, when
+// every producer has already issued, goes straight onto its cluster's
+// wake heap with its (already final) ready time.
+func (m *Machine) enqueue(seq int64, cluster int, prio uint16) {
+	pend := int32(0)
+	for _, p := range m.tr.ProducerSpan(int(seq)) {
+		if m.events[p].Complete == Unset {
+			pslot := int64(p) & m.ringMask
+			m.waiters[pslot] = append(m.waiters[pslot], int32(seq))
+			pend++
+		}
+	}
+	if pend == 0 {
+		ready, crit, remote := m.readyAt(seq)
+		m.clusters[cluster].pushWake(wakeEntry{
+			seq: seq, ready: ready, crit: crit, prio: prio, remote: remote,
+		})
+		return
+	}
+	slot := seq & m.ringMask
+	m.pend[slot] = pend
+	m.prioRing[slot] = prio
+}
+
+// pushWake adds e to the cluster's min-heap of maturing entries.
+// insertReady adds a matured entry to the ready list, preserving the
+// (prio, seq) order that issue selection consumes.
+func (cs *clusterState) insertReady(e wakeEntry) {
+	lo, hi := 0, len(cs.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		r := &cs.ready[mid]
+		if r.prio < e.prio || (r.prio == e.prio && r.seq < e.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cs.ready = append(cs.ready, wakeEntry{})
+	copy(cs.ready[lo+1:], cs.ready[lo:])
+	cs.ready[lo] = e
+}
+
+func (cs *clusterState) pushWake(e wakeEntry) {
+	cs.wake = append(cs.wake, e)
+	i := len(cs.wake) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if cs.wake[p].ready <= cs.wake[i].ready {
+			break
+		}
+		cs.wake[p], cs.wake[i] = cs.wake[i], cs.wake[p]
+		i = p
+	}
+}
+
+// popWake removes and returns the earliest-maturing entry.
+func (cs *clusterState) popWake() wakeEntry {
+	top := cs.wake[0]
+	last := len(cs.wake) - 1
+	cs.wake[0] = cs.wake[last]
+	cs.wake = cs.wake[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		c := l
+		if r := l + 1; r < last && cs.wake[r].ready < cs.wake[l].ready {
+			c = r
+		}
+		if cs.wake[i].ready <= cs.wake[c].ready {
+			break
+		}
+		cs.wake[i], cs.wake[c] = cs.wake[c], cs.wake[i]
+		i = c
+	}
+	return top
+}
+
 // hasSpace reports real (not snapshot) window availability.
 func (m *Machine) hasSpace(c int) bool {
-	return len(m.clusters[c].entries) < m.cfg.WindowPerCluster
+	return m.clusters[c].occ < m.cfg.WindowPerCluster
 }
 
 // dispatch steers fetched instructions, in order, into cluster windows.
@@ -530,7 +938,7 @@ func (m *Machine) dispatch() {
 		// (Section 8: a realistic steering circuit cannot serially
 		// account for intra-cycle placements).
 		for c := range m.clusters {
-			m.occSnap[c] = len(m.clusters[c].entries)
+			m.occSnap[c] = m.clusters[c].occ
 		}
 	}
 	for w := 0; w < m.cfg.DispatchWidth && m.dispHead < n; w++ {
@@ -607,8 +1015,13 @@ func (m *Machine) dispatch() {
 		}
 		m.havePending = false
 
-		m.clusters[dec.Cluster].entries = append(m.clusters[dec.Cluster].entries,
-			winEntry{seq: seq, prio: prio, ready: Unset, crit: Unset})
+		if m.oracle {
+			m.clusters[dec.Cluster].entries = append(m.clusters[dec.Cluster].entries,
+				winEntry{seq: seq, prio: prio, ready: Unset, crit: Unset})
+		} else {
+			m.enqueue(seq, dec.Cluster, prio)
+		}
+		m.clusters[dec.Cluster].occ++
 		m.dispHead++
 		m.dispatched++
 	}
@@ -625,8 +1038,7 @@ func (m *Machine) setPending(reason DispatchReason, blocker int64) {
 // gatherProducers builds the steering view's producer list: one entry per
 // distinct producer of the dispatching instruction's operands.
 func (m *Machine) gatherProducers(seq int64, dst []ProducerInfo) []ProducerInfo {
-	m.prodBuf = m.tr.Producers(int(seq), m.prodBuf[:0])
-	for _, p32 := range m.prodBuf {
+	for _, p32 := range m.tr.ProducerSpan(int(seq)) {
 		p := int64(p32)
 		dup := false
 		for i := range dst {
@@ -691,7 +1103,7 @@ func (m *Machine) fetch() {
 				ev.Mispredicted = true
 				m.mispredicts++
 				m.blockingBranch = seq
-				m.fetchResume = int64(1) << 62 // blocked until resolution
+				m.fetchResume = fetchBlocked
 				return
 			}
 		}

@@ -273,98 +273,14 @@ func TestFetchBandwidth(t *testing.T) {
 	}
 }
 
-// checkInvariants verifies global structural invariants over a run.
+// checkInvariants verifies global structural invariants over a run by
+// delegating to the machine package's exported checker.
 func checkInvariants(t *testing.T, m *machine.Machine, res machine.Result) {
 	t.Helper()
-	ev := m.Events()
-	cfg := m.Config()
-	tr := m.Trace()
-
-	issuePerCycle := map[[2]int64]int{}
-	commitPerCycle := map[int64]int{}
-	prevCommit := int64(-1)
-	for i := range ev {
-		e := &ev[i]
-		if e.Commit == machine.Unset {
-			t.Fatalf("inst %d never committed", i)
-		}
-		if e.Fetch < 0 || e.Dispatch < e.Fetch+int64(cfg.PipelineDepth) ||
-			e.Ready < e.Dispatch+1 || e.Issue < e.Ready ||
-			e.Complete <= e.Issue || e.Commit <= e.Complete {
-			t.Fatalf("inst %d has inconsistent timestamps: %+v", i, *e)
-		}
-		if e.Commit < prevCommit {
-			t.Fatalf("inst %d commits at %d before predecessor at %d", i, e.Commit, prevCommit)
-		}
-		prevCommit = e.Commit
-		commitPerCycle[e.Commit]++
-		issuePerCycle[[2]int64{int64(e.Cluster), e.Issue}]++
-		if int(e.Cluster) >= cfg.Clusters {
-			t.Fatalf("inst %d on cluster %d of %d", i, e.Cluster, cfg.Clusters)
-		}
-		// Dataflow: issue must not precede operand availability.
-		for _, p := range tr.Producers(i, nil) {
-			pe := &ev[p]
-			avail := pe.Complete
-			if pe.Cluster != e.Cluster {
-				avail += int64(cfg.FwdLatency)
-			}
-			if e.Issue < avail {
-				t.Fatalf("inst %d issued at %d before operand from %d available at %d",
-					i, e.Issue, p, avail)
-			}
-		}
-		// ROB capacity.
-		if i >= cfg.ROBSize {
-			if e.Dispatch < ev[i-cfg.ROBSize].Commit {
-				t.Fatalf("inst %d dispatched at %d before ROB slot freed at %d",
-					i, e.Dispatch, ev[i-cfg.ROBSize].Commit)
-			}
-		}
+	if err := machine.Check(m); err != nil {
+		t.Fatal(err)
 	}
-	for key, n := range issuePerCycle {
-		if n > cfg.IssuePerCluster {
-			t.Fatalf("cluster %d issued %d > %d at cycle %d", key[0], n, cfg.IssuePerCluster, key[1])
-		}
-	}
-	for cyc, n := range commitPerCycle {
-		if n > cfg.CommitWidth {
-			t.Fatalf("committed %d > %d at cycle %d", n, cfg.CommitWidth, cyc)
-		}
-	}
-	// Window capacity: line-sweep per cluster over [dispatch, issue).
-	type delta struct {
-		cyc int64
-		d   int
-	}
-	perCluster := make([][]delta, cfg.Clusters)
-	for i := range ev {
-		c := int(ev[i].Cluster)
-		perCluster[c] = append(perCluster[c], delta{ev[i].Dispatch, 1}, delta{ev[i].Issue, -1})
-	}
-	for c, ds := range perCluster {
-		byCycle := map[int64]int{}
-		for _, d := range ds {
-			byCycle[d.cyc] += d.d
-		}
-		cycles := make([]int64, 0, len(byCycle))
-		for cyc := range byCycle {
-			cycles = append(cycles, cyc)
-		}
-		sortInt64s(cycles)
-		occ := 0
-		for _, cyc := range cycles {
-			occ += byCycle[cyc]
-			if occ > cfg.WindowPerCluster {
-				t.Fatalf("cluster %d window occupancy %d > %d at cycle %d",
-					c, occ, cfg.WindowPerCluster, cyc)
-			}
-		}
-		if occ != 0 {
-			t.Fatalf("cluster %d occupancy did not return to zero", c)
-		}
-	}
-	if res.Cycles <= 0 || res.Insts != int64(len(ev)) {
+	if res.Cycles <= 0 || res.Insts != int64(len(m.Events())) {
 		t.Fatalf("result bookkeeping wrong: %+v", res)
 	}
 }
@@ -535,13 +451,5 @@ func TestNewRejectsBadInput(t *testing.T) {
 	}
 	if _, err := machine.New(machine.NewConfig(1), tr, nil, machine.Hooks{}); err == nil {
 		t.Error("accepted nil policy")
-	}
-}
-
-func sortInt64s(s []int64) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
 	}
 }

@@ -83,7 +83,7 @@ func (v *SteerView) Occupancy(c int) int {
 	if v.snapOcc != nil {
 		return v.snapOcc[c]
 	}
-	return len(v.m.clusters[c].entries)
+	return v.m.clusters[c].occ
 }
 
 // HasSpace reports whether cluster c can accept an instruction (from the
@@ -160,8 +160,7 @@ func (v *RetireView) Inst() *isa.Inst { return &v.m.tr.Insts[v.seq] }
 // ProducerPCs appends the static PCs of the instruction's producers to
 // dst and returns it.
 func (v *RetireView) ProducerPCs(dst []uint64) []uint64 {
-	var buf [3]int32
-	for _, p := range v.m.tr.Producers(int(v.seq), buf[:0]) {
+	for _, p := range v.m.tr.ProducerSpan(int(v.seq)) {
 		dst = append(dst, v.m.tr.Insts[p].PC)
 	}
 	return dst

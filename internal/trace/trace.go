@@ -27,9 +27,18 @@ type DepInfo struct {
 
 // Trace is a sequence of committed dynamic instructions with dependence
 // annotations. Insts and Deps are parallel slices.
+//
+// Traces built by Builder or Rebuild additionally carry a pre-decoded
+// producer index (a flat CSR layout) so the simulator's hot loop can read
+// an instruction's producers as a subslice without re-walking DepInfo.
 type Trace struct {
 	Insts []isa.Inst
 	Deps  []DepInfo
+
+	// CSR producer index: the producers of instruction i are
+	// prodIdx[prodOff[i]:prodOff[i+1]], in Producers order.
+	prodOff []int32
+	prodIdx []int32
 }
 
 // Len returns the number of dynamic instructions.
@@ -49,6 +58,50 @@ func (t *Trace) Producers(i int, dst []int32) []int32 {
 		dst = append(dst, d.Mem)
 	}
 	return dst
+}
+
+// ProducerSpan returns instruction i's producers as a shared read-only
+// subslice of the pre-decoded producer index, in the same order Producers
+// reports them. It builds the index on first use if the trace was
+// assembled by hand; traces from Builder, Rebuild or the codec come with
+// the index prebuilt, which is what makes sharing one Trace across
+// concurrent simulations safe.
+func (t *Trace) ProducerSpan(i int) []int32 {
+	if t.prodOff == nil {
+		t.EnsureProducerIndex()
+	}
+	return t.prodIdx[t.prodOff[i]:t.prodOff[i+1]]
+}
+
+// EnsureProducerIndex builds the CSR producer index if it is missing.
+// It is not safe to call concurrently with other uses of the trace; call
+// it once before sharing a hand-assembled trace between goroutines
+// (Builder and Rebuild do this for you).
+func (t *Trace) EnsureProducerIndex() {
+	if t.prodOff != nil {
+		return
+	}
+	n := len(t.Deps)
+	off := make([]int32, n+1)
+	total := 0
+	for i := range t.Deps {
+		d := &t.Deps[i]
+		if d.Src[0] != None {
+			total++
+		}
+		if d.Src[1] != None {
+			total++
+		}
+		if d.Mem != None {
+			total++
+		}
+		off[i+1] = int32(total)
+	}
+	idx := make([]int32, 0, total)
+	for i := range t.Deps {
+		idx = t.Producers(i, idx)
+	}
+	t.prodOff, t.prodIdx = off, idx
 }
 
 // Builder incrementally constructs a Trace, computing dependence
@@ -102,10 +155,12 @@ func (b *Builder) Append(in isa.Inst) {
 // Len returns the number of instructions appended so far.
 func (b *Builder) Len() int { return len(b.tr.Insts) }
 
-// Trace returns the built trace. The Builder must not be used afterwards.
+// Trace returns the built trace with its producer index prebuilt. The
+// Builder must not be used afterwards.
 func (b *Builder) Trace() *Trace {
 	t := b.tr
 	b.tr = Trace{}
+	t.EnsureProducerIndex()
 	return &t
 }
 
