@@ -10,6 +10,7 @@ package clustersim
 import (
 	"testing"
 
+	"clustersim/internal/critpath"
 	"clustersim/internal/experiments"
 	"clustersim/internal/machine"
 	"clustersim/internal/predictor"
@@ -255,6 +256,75 @@ func BenchmarkMachineWakeup4x(b *testing.B) { benchMachine(b, 4, false) }
 func BenchmarkMachineOracle1x(b *testing.B) { benchMachine(b, 1, true) }
 func BenchmarkMachineOracle2x(b *testing.B) { benchMachine(b, 2, true) }
 func BenchmarkMachineOracle4x(b *testing.B) { benchMachine(b, 4, true) }
+
+// benchCritReplay times the full 2^4 zero-set lattice on a completed
+// run, comparing the fused single-pass replay on a pooled analyzer
+// (fused=true) against the per-scenario SimulatedTime oracle (16
+// independent forward passes, each allocating fresh scratch).
+// BENCH_critpath.json records the same comparison via
+// `clustersim -bench-crit-json`.
+func benchCritReplay(b *testing.B, clusters int, fused bool) {
+	tr, err := GenerateTrace("vpr", 50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(machine.NewConfig(clusters), tr, steer.DepBased{}, machine.Hooks{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run()
+	zeros := make([]critpath.ZeroSet, critpath.NumScenarios)
+	for mask := range zeros {
+		zeros[mask] = critpath.MaskZeroSet(mask)
+	}
+	az := critpath.NewAnalyzer()
+	defer az.Recycle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fused {
+			if _, err := az.ReplayScenarios(m, zeros); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, z := range zeros {
+				if _, err := critpath.SimulatedTime(m, z); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*critpath.NumScenarios*b.N)/b.Elapsed().Seconds(), "node-insts/s")
+}
+
+func BenchmarkCritReplayFused1x(b *testing.B)  { benchCritReplay(b, 1, true) }
+func BenchmarkCritReplayFused4x(b *testing.B)  { benchCritReplay(b, 4, true) }
+func BenchmarkCritReplayOracle1x(b *testing.B) { benchCritReplay(b, 1, false) }
+func BenchmarkCritReplayOracle4x(b *testing.B) { benchCritReplay(b, 4, false) }
+
+// BenchmarkCritAnalyzePooled times the backward walk (breakdown +
+// on-path bitset) on a recycled analyzer — the allocation-free path the
+// engine's analysis artifacts use.
+func BenchmarkCritAnalyzePooled(b *testing.B) {
+	tr, err := GenerateTrace("vpr", 50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(machine.NewConfig(4), tr, steer.DepBased{}, machine.Hooks{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run()
+	az := critpath.NewAnalyzer()
+	defer az.Recycle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := az.AnalyzeRun(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkListScheduler(b *testing.B) {
 	tr, err := GenerateTrace("gzip", 50_000, 1)

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"clustersim/internal/critpath"
+	"clustersim/internal/machine"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+// critBenchPoint is one (benchmark, cluster count) cell of the critical-
+// path analysis sweep: the fused 16-scenario replay on a pooled analyzer
+// against the per-scenario SimulatedTime oracle (16 independent forward
+// passes, each with fresh scratch).
+type critBenchPoint struct {
+	Bench    string `json:"bench"`
+	Clusters int    `json:"clusters"`
+	Insts    int    `json:"insts"`
+	Runs     int    `json:"runs"`
+
+	FusedNsPerRun  float64 `json:"fused_ns_per_run"`
+	OracleNsPerRun float64 `json:"oracle_ns_per_run"`
+	Speedup        float64 `json:"speedup"`
+
+	FusedAllocsPerRun  float64 `json:"fused_allocs_per_run"`
+	OracleAllocsPerRun float64 `json:"oracle_allocs_per_run"`
+	AllocRatio         float64 `json:"alloc_ratio"`
+}
+
+// critBenchReport is the BENCH_critpath.json schema; CI uploads it so the
+// analysis-throughput trajectory is tracked per commit.
+type critBenchReport struct {
+	Schema            string           `json:"schema"`
+	GoVersion         string           `json:"go_version"`
+	Insts             int              `json:"insts"`
+	Seed              uint64           `json:"seed"`
+	Scenarios         int              `json:"scenarios"`
+	Points            []critBenchPoint `json:"points"`
+	GeomeanSpeedup    float64          `json:"geomean_speedup"`
+	GeomeanAllocRatio float64          `json:"geomean_alloc_ratio"`
+}
+
+// runBenchCritJSON executes the critical-path analysis sweep (full 2^4
+// zero-set lattice on completed runs across 1/2/4 clusters) and writes
+// the report. Fused and oracle results are cross-checked for equality on
+// every point before timing, so the sweep doubles as a differential gate.
+func runBenchCritJSON(path string, insts int, seed uint64, benches []string) error {
+	if len(benches) == 0 {
+		benches = []string{"gzip", "vpr", "gcc", "mcf"}
+	}
+	zeros := make([]critpath.ZeroSet, critpath.NumScenarios)
+	for mask := range zeros {
+		zeros[mask] = critpath.MaskZeroSet(mask)
+	}
+	rep := critBenchReport{
+		Schema:    "clustersim/bench-critpath/v1",
+		GoVersion: runtime.Version(),
+		Insts:     insts,
+		Seed:      seed,
+		Scenarios: critpath.NumScenarios,
+	}
+	logSpeed := 0.0
+	logAlloc := 0.0
+	az := critpath.NewAnalyzer()
+	defer az.Recycle()
+	for _, bench := range benches {
+		tr, err := workload.Generate(bench, insts, seed)
+		if err != nil {
+			return err
+		}
+		for _, clusters := range []int{1, 2, 4} {
+			m, err := machine.New(machine.NewConfig(clusters), tr, steer.DepBased{}, machine.Hooks{})
+			if err != nil {
+				return err
+			}
+			m.Run()
+
+			// Differential gate before timing anything.
+			fusedRT, err := az.ReplayScenarios(m, zeros)
+			if err != nil {
+				return err
+			}
+			for mask, z := range zeros {
+				want, err := critpath.SimulatedTime(m, z)
+				if err != nil {
+					return err
+				}
+				if fusedRT[mask] != want {
+					return fmt.Errorf("%s %dx mask %04b: fused %d != oracle %d",
+						bench, clusters, mask, fusedRT[mask], want)
+				}
+			}
+
+			fused := func() {
+				if _, err := az.ReplayScenarios(m, zeros); err != nil {
+					panic(err)
+				}
+			}
+			oracle := func() {
+				for _, z := range zeros {
+					if _, err := critpath.SimulatedTime(m, z); err != nil {
+						panic(err)
+					}
+				}
+			}
+			fNs, fAllocs, runs := measure(fused, 3, 150*time.Millisecond)
+			oNs, oAllocs, _ := measure(oracle, 3, 150*time.Millisecond)
+
+			pt := critBenchPoint{
+				Bench: bench, Clusters: clusters, Insts: insts,
+				Runs:          runs,
+				FusedNsPerRun: fNs, OracleNsPerRun: oNs,
+				Speedup:           oNs / fNs,
+				FusedAllocsPerRun: fAllocs, OracleAllocsPerRun: oAllocs,
+				AllocRatio:        oAllocs / math.Max(fAllocs, 1),
+			}
+			rep.Points = append(rep.Points, pt)
+			logSpeed += math.Log(pt.Speedup)
+			logAlloc += math.Log(pt.AllocRatio)
+			fmt.Fprintf(os.Stderr, "critbench %-6s %dx: fused %.2fms oracle %.2fms speedup %.2fx allocs %.0f vs %.0f (%.0fx)\n",
+				bench, clusters, fNs/1e6, oNs/1e6, pt.Speedup, fAllocs, oAllocs, pt.AllocRatio)
+		}
+	}
+	n := float64(len(rep.Points))
+	rep.GeomeanSpeedup = math.Exp(logSpeed / n)
+	rep.GeomeanAllocRatio = math.Exp(logAlloc / n)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "geomean speedup %.2fx, geomean alloc ratio %.1fx -> %s\n",
+		rep.GeomeanSpeedup, rep.GeomeanAllocRatio, path)
+	return nil
+}

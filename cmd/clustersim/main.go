@@ -33,6 +33,8 @@
 //	-metrics addr  serve /metrics and /debug/pprof on this address
 //	-bench-json f  run the machine micro-benchmark sweep and write f
 //	               (wakeup vs oracle scheduler; ns/run and allocs/run)
+//	-bench-crit-json f  run the critical-path analysis sweep and write f
+//	               (fused 16-scenario replay vs per-scenario oracle)
 package main
 
 import (
@@ -59,6 +61,7 @@ func main() {
 	cacheMem := flag.Int64("cache-mem", engine.DefaultMaxCacheBytes>>20, "in-memory cache budget in MiB (<0: unlimited)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	benchJSON := flag.String("bench-json", "", "run the machine micro-benchmark sweep (wakeup vs oracle scheduler) and write its JSON report here")
+	benchCritJSON := flag.String("bench-crit-json", "", "run the critical-path analysis sweep (fused multi-scenario replay vs per-scenario oracle) and write its JSON report here")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: clustersim [flags] <experiment> ...")
 		fmt.Fprintln(os.Stderr, "experiments: config fig2 fig2-attrib fig4 fig5 fig6 fig8 fig14 fig14-detail fig15 loc-oracle consumers fwd-sweep stall-sweep slack detector-compare window-sweep bandwidth-sweep replication icost group-steer predictor-sweep workloads future-work all")
@@ -93,6 +96,13 @@ func main() {
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *n, *seed, *fwd, opts.Benchmarks); err != nil {
 			fmt.Fprintln(os.Stderr, "clustersim: bench-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchCritJSON != "" {
+		if err := runBenchCritJSON(*benchCritJSON, *n, *seed, opts.Benchmarks); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim: bench-crit-json:", err)
 			os.Exit(1)
 		}
 		return

@@ -85,6 +85,11 @@ func run(bench, traceFile string, n int, seed uint64, clusters int, policy strin
 	} {
 		fmt.Printf("  %-14s %7.3f\n", row.name, float64(row.v)/ni)
 	}
+	if b.Boundary != 0 {
+		// Windowed walks book pre-window residue here; a whole-run walk
+		// never does, so the row only appears when it carries cycles.
+		fmt.Printf("  %-14s %7.3f\n", "boundary", float64(b.Boundary)/ni)
+	}
 	fmt.Printf("  %-14s %7.3f\n", "total", float64(b.Total())/ni)
 	fmt.Printf("contention stalls on path: %d critical, %d other; fwd events: %d loadbal, %d dyadic, %d other\n",
 		a.ContentionCritical, a.ContentionOther, a.FwdLoadBal, a.FwdDyadic, a.FwdOther)

@@ -1,0 +1,51 @@
+package critpath
+
+// Bits is a packed bitset over a walked instruction range. It replaces
+// the walker's per-call []bool: an epoch-length window fits in 1/8 the
+// memory and the backing words are reusable across walks, which is what
+// lets the pooled Analyzer run the online detector allocation-free.
+type Bits struct {
+	words []uint64
+	n     int64
+}
+
+// Len returns the number of bits.
+func (b Bits) Len() int64 { return b.n }
+
+// Get reports bit i; out-of-range indices are false.
+func (b Bits) Get(i int64) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int64 {
+	var c int64
+	for _, w := range b.words {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+func (b *Bits) set(i int64) {
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// reset returns a cleared bitset of n bits, reusing b's storage when it
+// is large enough.
+func (b Bits) reset(n int64) Bits {
+	need := int((n + 63) >> 6)
+	if cap(b.words) < need {
+		return Bits{words: make([]uint64, need), n: n}
+	}
+	b.words = b.words[:need]
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.n = n
+	return b
+}

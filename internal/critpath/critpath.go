@@ -10,9 +10,16 @@
 // The simulator records the last-arriving constraint for every event while
 // it runs, so the walk is a linear pass over recorded state — no
 // re-simulation is needed.
+//
+// Analysis entry points come in two flavors: the package-level functions
+// (Analyze, AnalyzeRun, ReplayScenarios, AnalyzeInteraction) allocate
+// fresh result storage and are safe to retain, while the pooled Analyzer
+// reuses its scratch across calls for allocation-free analysis in hot
+// loops (the online detector, the experiment engine).
 package critpath
 
 import (
+	"errors"
 	"fmt"
 
 	"clustersim/internal/isa"
@@ -23,6 +30,8 @@ import (
 // fields mirror Figure 5's stack: forwarding delay, contention, execute,
 // window, fetch, memory latency and branch misprediction; Commit covers
 // retirement-bandwidth edges (not broken out by the paper; typically ~0).
+// Boundary absorbs the span a windowed walk cannot attribute because the
+// path crossed out of the analyzed range; it is zero for whole-run walks.
 type Breakdown struct {
 	FwdDelay     int64 // inter-cluster forwarding on critical dataflow
 	Contention   int64 // issue waits of data-ready critical instructions
@@ -32,13 +41,16 @@ type Breakdown struct {
 	Window       int64 // ROB/window capacity and steering stalls
 	BrMispredict int64 // misprediction resolution + refill
 	Commit       int64 // retirement edges
+	Boundary     int64 // span below a windowed walk's range boundary
 }
 
 // Total returns the cycles attributed across all causes; it equals the
-// time span covered by the walk.
+// commit cycle of the walked range's last instruction — for whole-run and
+// windowed walks alike (windowed walks book the pre-window span under
+// Boundary).
 func (b Breakdown) Total() int64 {
 	return b.FwdDelay + b.Contention + b.Execute + b.MemLatency +
-		b.Fetch + b.Window + b.BrMispredict + b.Commit
+		b.Fetch + b.Window + b.BrMispredict + b.Commit + b.Boundary
 }
 
 // Add accumulates other into b.
@@ -51,6 +63,7 @@ func (b *Breakdown) Add(other Breakdown) {
 	b.Window += other.Window
 	b.BrMispredict += other.BrMispredict
 	b.Commit += other.Commit
+	b.Boundary += other.Boundary
 }
 
 // Analysis is the result of one critical-path walk.
@@ -68,9 +81,9 @@ type Analysis struct {
 	FwdDyadic  int64
 	FwdOther   int64
 
-	// OnPath[i-From] reports whether instruction i's execution lies on
+	// OnPath bit i-From reports whether instruction i's execution lies on
 	// the walked critical path.
-	OnPath []bool
+	OnPath Bits
 	From   int64
 	To     int64
 
@@ -83,7 +96,7 @@ func (a *Analysis) IsCritical(seq int64) bool {
 	if seq < a.From || seq >= a.To {
 		return false
 	}
-	return a.OnPath[seq-a.From]
+	return a.OnPath.Get(seq - a.From)
 }
 
 type nodeKind uint8
@@ -95,47 +108,104 @@ const (
 	nodeD                 // dispatch
 )
 
+// nodeTime returns the pipeline-event time of a walk node. The walk
+// maintains an exact invariant: at node (seq, kind) the cycles not yet
+// attributed equal nodeTime(ev[seq], kind), because every transition
+// attributes precisely the gap between its source and target node times.
+// Attributing this residue when a windowed walk crosses its range
+// boundary therefore makes Breakdown.Total equal the walked span exactly.
+func nodeTime(e *machine.Event, kind nodeKind) int64 {
+	switch kind {
+	case nodeC:
+		return e.Commit
+	case nodeE:
+		return e.Complete
+	case nodeI:
+		return e.Issue
+	default:
+		return e.Dispatch
+	}
+}
+
+// ErrTruncated reports a walk that exceeded its step bound without
+// reaching the start of its range. Every transition moves to a strictly
+// older event time or an older instruction, so a well-formed event log
+// can never trip this; it guards against log corruption turning the walk
+// into an endless (or silently wrong) traversal.
+var ErrTruncated = errors.New("critpath: walk exceeded step bound")
+
+// maxStepsPerInst scales the defensive step bound: a walk over k
+// instructions may take at most (k+1)*maxStepsPerInst transitions. A real
+// walk needs at most ~4 per instruction (one per node kind); the slack
+// keeps the bound far from any legitimate walk. Tests shrink it to
+// exercise the truncation path.
+var maxStepsPerInst = int64(16)
+
 // Analyze walks the critical path of the committed range [from, to) of a
 // finished (or epoch-complete) run and returns the attribution. The range
-// must be fully committed.
+// must be fully committed. The result uses freshly allocated storage; use
+// an Analyzer to reuse state across walks.
 func Analyze(m *machine.Machine, from, to int64) (*Analysis, error) {
+	a := new(Analysis)
+	if err := walk(m, from, to, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AnalyzeRun walks the whole run.
+func AnalyzeRun(m *machine.Machine) (*Analysis, error) {
+	return Analyze(m, 0, int64(len(m.Events())))
+}
+
+// walk performs the backward walk into a, reusing a's OnPath storage.
+func walk(m *machine.Machine, from, to int64, a *Analysis) error {
 	ev := m.Events()
 	if from < 0 || to <= from || to > int64(len(ev)) {
-		return nil, fmt.Errorf("critpath: bad range [%d, %d) of %d", from, to, len(ev))
+		return fmt.Errorf("critpath: bad range [%d, %d) of %d", from, to, len(ev))
 	}
 	if ev[to-1].Commit == machine.Unset {
-		return nil, fmt.Errorf("critpath: instruction %d not committed", to-1)
+		return fmt.Errorf("critpath: instruction %d not committed", to-1)
 	}
 	tr := m.Trace()
-	a := &Analysis{From: from, To: to, OnPath: make([]bool, to-from)}
+	*a = Analysis{From: from, To: to, OnPath: a.OnPath.reset(to - from)}
 
 	kind := nodeC
 	seq := to - 1
 	// The walk must terminate: every transition moves to a strictly older
 	// event time or an older instruction; bound steps defensively.
-	maxSteps := (to - from + 1) * 16
-	for a.Steps = 0; a.Steps < maxSteps; a.Steps++ {
-		if seq < from {
-			break // crossed out of the analyzed range
+	maxSteps := (to - from + 1) * maxStepsPerInst
+	for {
+		if seq < 0 {
+			break // walked to cycle zero: the span is fully attributed
 		}
+		if seq < from {
+			// The path crossed out of the analyzed range; everything
+			// before the current node's event time is outside the window.
+			a.Breakdown.Boundary += nodeTime(&ev[seq], kind)
+			break
+		}
+		if a.Steps >= maxSteps {
+			return fmt.Errorf("critpath: walk of [%d, %d) stuck at seq %d after %d steps: %w",
+				from, to, seq, a.Steps, ErrTruncated)
+		}
+		a.Steps++
 		e := &ev[seq]
 		switch kind {
 		case nodeC:
-			if e.Commit == e.Complete+1 {
-				a.Breakdown.Commit++ // minimal complete→commit transit
-				kind = nodeE
+			if seq > 0 && e.Commit != e.Complete+1 {
+				// Blocked behind in-order commit.
+				a.Breakdown.Commit += e.Commit - ev[seq-1].Commit
+				seq--
 				continue
 			}
-			// Blocked behind in-order commit.
-			if seq == 0 {
-				a.Breakdown.Commit += e.Commit
-				seq = -1
-				continue
-			}
-			a.Breakdown.Commit += e.Commit - ev[seq-1].Commit
-			seq--
+			// Complete→commit transit (normally the minimal 1 cycle; at
+			// the very start of the trace any residual gap also lands
+			// here, letting the pipeline fill reach Fetch via node D).
+			a.Breakdown.Commit += e.Commit - e.Complete
+			kind = nodeE
 		case nodeE:
-			a.OnPath[seq-from] = true
+			a.OnPath.set(seq - from)
 			lat := e.Complete - e.Issue
 			if tr.Insts[seq].Op == isa.Load {
 				a.Breakdown.MemLatency += lat
@@ -144,7 +214,7 @@ func Analyze(m *machine.Machine, from, to int64) (*Analysis, error) {
 			}
 			kind = nodeI
 		case nodeI:
-			a.OnPath[seq-from] = true
+			a.OnPath.set(seq - from)
 			if cont := e.Issue - e.Ready; cont > 0 {
 				a.Breakdown.Contention += cont
 				if e.PredCritical {
@@ -222,14 +292,6 @@ func Analyze(m *machine.Machine, from, to int64) (*Analysis, error) {
 				kind = nodeI
 			}
 		}
-		if seq < 0 {
-			break
-		}
 	}
-	return a, nil
-}
-
-// AnalyzeRun walks the whole run.
-func AnalyzeRun(m *machine.Machine) (*Analysis, error) {
-	return Analyze(m, 0, int64(len(m.Events())))
+	return nil
 }

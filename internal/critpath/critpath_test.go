@@ -59,19 +59,14 @@ func TestPathIsNonEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	onPath := 0
-	for _, v := range a.OnPath {
-		if v {
-			onPath++
-		}
-	}
+	onPath := a.OnPath.Count()
 	if onPath == 0 {
 		t.Fatal("no instruction on the critical path")
 	}
-	if onPath > tr.Len() {
+	if onPath > int64(tr.Len()) {
 		t.Fatal("more on-path marks than instructions")
 	}
-	if !a.IsCritical(int64(firstTrue(a.OnPath))) {
+	if !a.IsCritical(firstTrue(a.OnPath)) {
 		t.Fatal("IsCritical disagrees with OnPath")
 	}
 	if a.IsCritical(-1) || a.IsCritical(int64(tr.Len())) {
@@ -79,9 +74,9 @@ func TestPathIsNonEmpty(t *testing.T) {
 	}
 }
 
-func firstTrue(b []bool) int {
-	for i, v := range b {
-		if v {
+func firstTrue(b critpath.Bits) int64 {
+	for i := int64(0); i < b.Len(); i++ {
+		if b.Get(i) {
 			return i
 		}
 	}
@@ -102,12 +97,7 @@ func TestChainIsFullyCritical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	critical := 0
-	for _, v := range a.OnPath {
-		if v {
-			critical++
-		}
-	}
+	critical := a.OnPath.Count()
 	if critical < 48 { // the last couple may be covered by commit edges
 		t.Errorf("only %d/50 chain links critical", critical)
 	}

@@ -55,14 +55,16 @@ func (d *Detector) OnEpoch(from, to int64) {
 	if d.m == nil {
 		panic("critpath: detector not bound to a machine")
 	}
-	a, err := Analyze(d.m, from, to)
+	az := NewAnalyzer()
+	defer az.Recycle()
+	a, err := az.Analyze(d.m, from, to)
 	if err != nil {
 		panic("critpath: " + err.Error()) // range comes from the machine; cannot fail
 	}
 	tr := d.m.Trace()
 	for seq := from; seq < to; seq++ {
 		pc := tr.Insts[seq].PC
-		crit := a.OnPath[seq-from]
+		crit := a.OnPath.Get(seq - from)
 		if d.binary != nil {
 			d.binary.Train(pc, crit)
 		}

@@ -1,0 +1,9 @@
+package critpath
+
+// SetMaxStepsPerInst shrinks the defensive walk bound so tests can force
+// the truncation path; it returns a restore function.
+func SetMaxStepsPerInst(n int64) (restore func()) {
+	old := maxStepsPerInst
+	maxStepsPerInst = n
+	return func() { maxStepsPerInst = old }
+}

@@ -22,6 +22,10 @@ import (
 // categories hide behind each other on parallel paths (fixing one alone
 // buys less than its attribution suggests); positive = serial
 // composition.
+//
+// SimulatedTime is the reference single-scenario replay; the Analyzer's
+// fused ReplayScenarios computes whole zero-set lattices in one pass and
+// is pinned to it by differential tests.
 
 // ZeroSet selects penalty components to idealize away.
 type ZeroSet struct {
@@ -36,14 +40,42 @@ type ZeroSet struct {
 	BrMispredict bool
 }
 
-// hitLat is the L1-hit load latency (isa.Load.Latency()).
-var hitLat = int64(isa.Load.Latency())
+// Components of the interaction lattice, in scenario-mask bit order
+// (mask bit 1<<Comp selects that component for zeroing).
+const (
+	CompFwd = iota
+	CompContention
+	CompMemLatency
+	CompBrMispredict
+	NumComponents
+
+	// NumScenarios is the size of the full zero-set lattice.
+	NumScenarios = 1 << NumComponents
+)
+
+// ComponentNames names the lattice components, indexed by Comp*.
+var ComponentNames = [NumComponents]string{"fwd", "cont", "mem", "brmis"}
+
+// MaskZeroSet returns the ZeroSet idealizing the components selected by
+// mask (bit 1<<CompFwd = forwarding, and so on).
+func MaskZeroSet(mask int) ZeroSet {
+	return ZeroSet{
+		Fwd:          mask&(1<<CompFwd) != 0,
+		Contention:   mask&(1<<CompContention) != 0,
+		MemLatency:   mask&(1<<CompMemLatency) != 0,
+		BrMispredict: mask&(1<<CompBrMispredict) != 0,
+	}
+}
 
 // SimulatedTime replays the recorded constraint graph as a forward
 // longest-path computation, with the selected penalty components
 // idealized away, and returns the resulting runtime (final commit
 // cycle). With a zero ZeroSet it reproduces the measured runtime
 // exactly — a property the tests enforce.
+//
+// This is the per-scenario reference implementation (the oracle the
+// fused ReplayScenarios is differentially tested against); batch callers
+// should prefer an Analyzer.
 func SimulatedTime(m *machine.Machine, zero ZeroSet) (int64, error) {
 	ev := m.Events()
 	n := len(ev)
@@ -52,6 +84,10 @@ func SimulatedTime(m *machine.Machine, zero ZeroSet) (int64, error) {
 	}
 	cfg := m.Config()
 	tr := m.Trace()
+	// The L1-hit load latency MemLatency zeroing reduces loads to comes
+	// from the run's own configuration — a non-default cache hit time
+	// must not be idealized against the ISA default.
+	hitLat := cfg.LoadHitLatency()
 
 	arrD := make([]int64, n)
 	arrE := make([]int64, n)
@@ -166,6 +202,15 @@ func SimulatedTime(m *machine.Machine, zero ZeroSet) (int64, error) {
 	return arrC[n-1], nil
 }
 
+// ReplayScenarios computes the idealized runtime of every zero-set in one
+// fused forward pass, using a pooled Analyzer. See
+// (*Analyzer).ReplayScenarios.
+func ReplayScenarios(m *machine.Machine, zeros []ZeroSet) ([]int64, error) {
+	az := NewAnalyzer()
+	defer az.Recycle()
+	return az.ReplayScenarios(m, zeros)
+}
+
 // InteractionCosts holds the pairwise analysis for the two clustering
 // penalties the paper attributes (forwarding delay and contention).
 type InteractionCosts struct {
@@ -178,30 +223,49 @@ type InteractionCosts struct {
 	ICost int64
 }
 
+// InteractionMatrix is the full interaction-cost lattice over the four
+// penalty components: the idealized runtime of all 2^4 zero-sets (one
+// fused replay pass), the cost of each zero-set relative to the measured
+// runtime, and every pairwise interaction cost. It quantifies the paper's
+// parallel-paths caveat beyond the fwd/contention pair: a negative
+// Pair[i][j] means components i and j hide behind each other on parallel
+// near-critical paths.
+type InteractionMatrix struct {
+	// Runtime[mask] is the replayed runtime with the components in mask
+	// idealized away (mask bit 1<<CompFwd = forwarding, etc.);
+	// Runtime[0] is the measured runtime.
+	Runtime [NumScenarios]int64
+	// Cost[mask] = Runtime[0] − Runtime[mask].
+	Cost [NumScenarios]int64
+	// Pair[i][j] (i≠j) = Cost[i∪j] − Cost[i] − Cost[j]; the diagonal
+	// holds each component's individual cost.
+	Pair [NumComponents][NumComponents]int64
+}
+
+// Interaction extracts the legacy forwarding/contention pairwise analysis
+// from the matrix.
+func (im *InteractionMatrix) Interaction() InteractionCosts {
+	return InteractionCosts{
+		Base:     im.Runtime[0],
+		CostFwd:  im.Cost[1<<CompFwd],
+		CostCont: im.Cost[1<<CompContention],
+		CostBoth: im.Cost[1<<CompFwd|1<<CompContention],
+		ICost:    im.Pair[CompFwd][CompContention],
+	}
+}
+
 // AnalyzeInteraction computes the forwarding/contention interaction cost
-// for a finished run.
+// for a finished run in one fused event-log pass (pooled Analyzer).
 func AnalyzeInteraction(m *machine.Machine) (InteractionCosts, error) {
-	var ic InteractionCosts
-	base, err := SimulatedTime(m, ZeroSet{})
-	if err != nil {
-		return ic, err
-	}
-	noFwd, err := SimulatedTime(m, ZeroSet{Fwd: true})
-	if err != nil {
-		return ic, err
-	}
-	noCont, err := SimulatedTime(m, ZeroSet{Contention: true})
-	if err != nil {
-		return ic, err
-	}
-	noBoth, err := SimulatedTime(m, ZeroSet{Fwd: true, Contention: true})
-	if err != nil {
-		return ic, err
-	}
-	ic.Base = base
-	ic.CostFwd = base - noFwd
-	ic.CostCont = base - noCont
-	ic.CostBoth = base - noBoth
-	ic.ICost = ic.CostBoth - ic.CostFwd - ic.CostCont
-	return ic, nil
+	az := NewAnalyzer()
+	defer az.Recycle()
+	return az.AnalyzeInteraction(m)
+}
+
+// ComputeInteractionMatrix computes the full pairwise lattice for a
+// finished run in one fused event-log pass (pooled Analyzer).
+func ComputeInteractionMatrix(m *machine.Machine) (InteractionMatrix, error) {
+	az := NewAnalyzer()
+	defer az.Recycle()
+	return az.InteractionMatrix(m)
 }

@@ -3,6 +3,7 @@ package critpath
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"clustersim/internal/machine"
@@ -141,6 +142,23 @@ func ComputeSlack(m *machine.Machine) ([]int64, error) {
 		slack[i] = s
 	}
 	return slack, nil
+}
+
+// SlackBuckets labels HistogramSlack's bins.
+var SlackBuckets = [8]string{"0", "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64+"}
+
+// HistogramSlack bins slack values into power-of-two buckets (see
+// SlackBuckets) — a compact, cacheable view of the distribution.
+func HistogramSlack(slack []int64) [8]int64 {
+	var h [8]int64
+	for _, s := range slack {
+		b := bits.Len64(uint64(s))
+		if b > 7 {
+			b = 7
+		}
+		h[b]++
+	}
+	return h
 }
 
 // SlackSummary aggregates a run's slack distribution and its per-static-

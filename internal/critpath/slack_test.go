@@ -1,14 +1,17 @@
 package critpath_test
 
 import (
+	"fmt"
 	"testing"
 
 	"clustersim/internal/critpath"
 	"clustersim/internal/isa"
 	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
 	"clustersim/internal/steer"
 	"clustersim/internal/trace"
 	"clustersim/internal/workload"
+	"clustersim/internal/xrand"
 )
 
 func TestSlackChainIsZero(t *testing.T) {
@@ -103,7 +106,7 @@ func TestSlackCriticalPathInstructionsHaveZeroSlack(t *testing.T) {
 	}
 	var onPath, zeroish int
 	for i := range slack {
-		if !a.OnPath[i] {
+		if !a.OnPath.Get(int64(i)) {
 			continue
 		}
 		onPath++
@@ -116,6 +119,70 @@ func TestSlackCriticalPathInstructionsHaveZeroSlack(t *testing.T) {
 	}
 	if frac := float64(zeroish) / float64(onPath); frac < 0.95 {
 		t.Fatalf("only %.0f%% of critical-path instructions have ~zero slack", frac*100)
+	}
+}
+
+// TestSlackAgreesWithWalkerAcrossPolicies cross-checks ComputeSlack
+// against the backward walker on clustered machines driven by *stateful*
+// steering policies (stall-over-steer's per-cluster stall bookkeeping,
+// proactive's load-balance history) with the online detector training LoC
+// predictors: every instruction the walk marks on-path must have
+// (near-)zero global slack, whatever policy shaped the run.
+func TestSlackAgreesWithWalkerAcrossPolicies(t *testing.T) {
+	tr, err := workload.Generate("gcc", 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		clusters int
+		pol      func() machine.SteerPolicy
+	}{
+		{2, func() machine.SteerPolicy { return &steer.StallOverSteer{} }},
+		{4, func() machine.SteerPolicy { return &steer.StallOverSteer{} }},
+		{4, func() machine.SteerPolicy { return steer.NewProactive() }},
+	}
+	for _, tc := range cases {
+		pol := tc.pol()
+		t.Run(fmt.Sprintf("%dx-%s", tc.clusters, pol.Name()), func(t *testing.T) {
+			cfg := machine.NewConfig(tc.clusters)
+			cfg.SchedMode = machine.SchedLoC
+			binary := predictor.NewDefaultBinary()
+			loc := predictor.NewDefaultLoC(xrand.New(7))
+			det := critpath.NewDetector(binary, loc)
+			m, err := machine.New(cfg, tr, pol, machine.Hooks{
+				Binary: binary, LoC: loc, OnEpoch: det.OnEpoch,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			det.Bind(m)
+			m.Run()
+			a, err := critpath.AnalyzeRun(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slack, err := critpath.ComputeSlack(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var onPath, zeroish int
+			for i := range slack {
+				if !a.OnPath.Get(int64(i)) {
+					continue
+				}
+				onPath++
+				if slack[i] <= 1 {
+					zeroish++
+				}
+			}
+			if onPath == 0 {
+				t.Fatal("empty critical path")
+			}
+			if frac := float64(zeroish) / float64(onPath); frac < 0.95 {
+				t.Fatalf("only %.1f%% of critical-path instructions have ~zero slack (%d/%d)",
+					frac*100, zeroish, onPath)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAnalysisCachesAndSharesSimArtifact(t *testing.T) {
+	e := New(Config{Workers: 2})
+	var runs atomic.Int64
+	run := func() (*Artifact, error) {
+		runs.Add(1)
+		return runTiny(1)
+	}
+	cs1, err := e.Analysis(testSimKey(1), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2, err := e.Analysis(testSimKey(1), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("sim ran %d times, want 1", runs.Load())
+	}
+	if !reflect.DeepEqual(cs1, cs2) {
+		t.Fatal("cached analysis differs from computed analysis")
+	}
+	if cs1.Matrix.Runtime[0] <= 0 {
+		t.Fatalf("base runtime %d, want > 0", cs1.Matrix.Runtime[0])
+	}
+	if cs1.Matrix.Cost[0] != 0 {
+		t.Fatalf("cost of the empty zero-set = %d, want 0", cs1.Matrix.Cost[0])
+	}
+	if cs1.Breakdown.Total() != cs1.Matrix.Runtime[0] {
+		t.Fatalf("walk attributed %d cycles but the run took %d",
+			cs1.Breakdown.Total(), cs1.Matrix.Runtime[0])
+	}
+	var hist int64
+	for _, c := range cs1.SlackHist {
+		hist += c
+	}
+	if hist <= 0 {
+		t.Fatalf("slack histogram empty (sum %d)", hist)
+	}
+	s := e.Summary()
+	if s.AnaHits != 1 || s.AnaMisses != 1 || s.AnaJobs != 1 {
+		t.Errorf("analysis hits/misses/jobs = %d/%d/%d, want 1/1/1",
+			s.AnaHits, s.AnaMisses, s.AnaJobs)
+	}
+	// The simulation the analysis triggered is itself cached: a NeedResult
+	// submission must hit without running.
+	before := runs.Load()
+	if _, err := e.Sim(testSimKey(1), NeedResult, run); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != before {
+		t.Error("analysis did not share its simulation artifact with Sim")
+	}
+}
+
+func TestAnalysisConcurrentDedup(t *testing.T) {
+	e := New(Config{Workers: 8})
+	var runs atomic.Int64
+	const submitters = 12
+	out := make([]CritSummary, submitters)
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs, err := e.Analysis(testSimKey(1), func() (*Artifact, error) {
+				runs.Add(1)
+				return runTiny(1)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = cs
+		}(i)
+	}
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("sim ran %d times under concurrent analysis, want 1", runs.Load())
+	}
+	if s := e.Summary(); s.AnaJobs != 1 {
+		t.Fatalf("analysis computed %d times, want 1", s.AnaJobs)
+	}
+	for i := 1; i < submitters; i++ {
+		if !reflect.DeepEqual(out[0], out[i]) {
+			t.Fatalf("submitter %d saw a different analysis", i)
+		}
+	}
+}
+
+func TestAnalysisDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{Workers: 2, CacheDir: dir})
+	cs1, err := e1.Analysis(testSimKey(1), func() (*Artifact, error) { return runTiny(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine over the same directory must serve the analysis from
+	// disk without simulating or re-analyzing.
+	e2 := New(Config{Workers: 2, CacheDir: dir})
+	var runs atomic.Int64
+	cs2, err := e2.Analysis(testSimKey(1), func() (*Artifact, error) {
+		runs.Add(1)
+		return runTiny(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("disk-cached analysis re-simulated %d times", runs.Load())
+	}
+	if !reflect.DeepEqual(cs1, cs2) {
+		t.Fatal("analysis changed across the disk round-trip")
+	}
+	s := e2.Summary()
+	if s.AnaDiskHits != 1 || s.AnaJobs != 0 {
+		t.Errorf("disk-hits/jobs = %d/%d, want 1/0", s.AnaDiskHits, s.AnaJobs)
+	}
+	// And it is now memory-resident: a second lookup is a plain hit.
+	if _, err := e2.Analysis(testSimKey(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := e2.Summary(); s.AnaHits != 1 {
+		t.Errorf("analysis hits = %d, want 1", s.AnaHits)
+	}
+}

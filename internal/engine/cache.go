@@ -20,6 +20,7 @@ type entryKind uint8
 const (
 	kindTrace entryKind = iota
 	kindSim
+	kindAnalysis
 )
 
 // entry is one memory-cache slot.
@@ -28,6 +29,7 @@ type entry struct {
 	kind  entryKind
 	tr    *trace.Trace
 	art   *Artifact
+	crit  *CritSummary
 	insts int
 	cost  int64
 	elem  *list.Element
@@ -68,6 +70,13 @@ func (c *memCache) putTrace(key string, tr *trace.Trace, insts int) {
 
 func (c *memCache) putSim(key string, a *Artifact, insts int) {
 	c.put(&entry{key: key, kind: kindSim, art: a, insts: insts, cost: artifactCost(a, insts)})
+}
+
+// putAnalysis caches a derived critical-path summary. Summaries are tiny
+// fixed-size values; under pressure shrink drops them outright (there is
+// nothing to demote).
+func (c *memCache) putAnalysis(key string, cs *CritSummary) {
+	c.put(&entry{key: key, kind: kindAnalysis, crit: cs, cost: baseCost})
 }
 
 func (c *memCache) put(e *entry) {
@@ -141,6 +150,38 @@ func (d *diskCache) resultPath(canon string) string {
 
 func (d *diskCache) tracePath(canon string) string {
 	return filepath.Join(d.dir, "trace-"+hashKey(canon)+".ctr")
+}
+
+// analysisEnvelope is the on-disk derived-analysis format, keyed and
+// verified like resultEnvelope (the canon already folds in both
+// schemaVersion and analysisVersion).
+type analysisEnvelope struct {
+	Key     string
+	Summary CritSummary
+}
+
+func (d *diskCache) analysisPath(canon string) string {
+	return filepath.Join(d.dir, "crit-"+hashKey(canon)+".json")
+}
+
+func (d *diskCache) loadAnalysis(canon string) (*CritSummary, bool) {
+	data, err := os.ReadFile(d.analysisPath(canon))
+	if err != nil {
+		return nil, false
+	}
+	var env analysisEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != canon {
+		return nil, false
+	}
+	return &env.Summary, true
+}
+
+func (d *diskCache) storeAnalysis(canon string, cs *CritSummary) error {
+	data, err := json.Marshal(analysisEnvelope{Key: canon, Summary: *cs})
+	if err != nil {
+		return err
+	}
+	return atomicWrite(d.analysisPath(canon), data)
 }
 
 func (d *diskCache) loadResult(key SimKey) (machine.Result, bool) {

@@ -74,9 +74,10 @@ type Engine struct {
 
 	cTraceHit, cTraceMiss          *metrics.Counter
 	cSimHit, cSimDiskHit, cSimMiss *metrics.Counter
+	cAnaHit, cAnaDiskHit, cAnaMiss *metrics.Counter
 	cDiskErr                       *metrics.Counter
 	cInsts                         *metrics.Counter
-	tSim, tTrace                   *metrics.Timer
+	tSim, tTrace, tAna             *metrics.Timer
 }
 
 // call is one in-flight singleflight execution.
@@ -113,10 +114,14 @@ func New(cfg Config) *Engine {
 		cSimHit:     met.Counter("engine.sim.hit"),
 		cSimDiskHit: met.Counter("engine.sim.disk_hit"),
 		cSimMiss:    met.Counter("engine.sim.miss"),
+		cAnaHit:     met.Counter("engine.analysis.hit"),
+		cAnaDiskHit: met.Counter("engine.analysis.disk_hit"),
+		cAnaMiss:    met.Counter("engine.analysis.miss"),
 		cDiskErr:    met.Counter("engine.disk.error"),
 		cInsts:      met.Counter("engine.sim.insts"),
 		tSim:        met.Timer("engine.sim.run"),
 		tTrace:      met.Timer("engine.trace.gen"),
+		tAna:        met.Timer("engine.analysis.run"),
 	}
 	if cfg.CacheDir != "" {
 		e.disk, e.diskErr = newDiskCache(cfg.CacheDir)

@@ -17,6 +17,9 @@ type Summary struct {
 	SimHits     int64
 	SimDiskHits int64
 	SimMisses   int64
+	AnaHits     int64
+	AnaDiskHits int64
+	AnaMisses   int64
 	DiskErrors  int64
 
 	// SimJobs/SimWallNs/SimInsts describe executed (non-cached) jobs;
@@ -27,6 +30,10 @@ type Summary struct {
 
 	TraceJobs   int64
 	TraceWallNs int64
+
+	// AnaJobs/AnaWallNs describe executed (non-cached) analysis passes.
+	AnaJobs   int64
+	AnaWallNs int64
 
 	CacheBytes   int64
 	CacheEntries int
@@ -64,12 +71,17 @@ func (e *Engine) Summary() Summary {
 		SimHits:     e.cSimHit.Load(),
 		SimDiskHits: e.cSimDiskHit.Load(),
 		SimMisses:   e.cSimMiss.Load(),
+		AnaHits:     e.cAnaHit.Load(),
+		AnaDiskHits: e.cAnaDiskHit.Load(),
+		AnaMisses:   e.cAnaMiss.Load(),
 		DiskErrors:  e.cDiskErr.Load(),
 		SimJobs:     e.tSim.Count(),
 		SimWallNs:   e.tSim.TotalNs(),
 		SimInsts:    e.cInsts.Load(),
 		TraceJobs:   e.tTrace.Count(),
 		TraceWallNs: e.tTrace.TotalNs(),
+		AnaJobs:     e.tAna.Count(),
+		AnaWallNs:   e.tAna.TotalNs(),
 		DiskErr:     e.diskErr,
 	}
 	e.mu.Lock()
@@ -99,12 +111,19 @@ func (e *Engine) RenderSummary(w io.Writer) {
 	if simTotal > 0 {
 		simRate = s.HitRate()
 	}
+	anaTotal := float64(s.AnaHits + s.AnaDiskHits + s.AnaMisses)
+	anaRate := 0.0
+	if anaTotal > 0 {
+		anaRate = float64(s.AnaHits+s.AnaDiskHits) / anaTotal
+	}
 	t.AddRow("trace", float64(s.TraceHits), 0, float64(s.TraceMisses), traceRate)
 	t.AddRow("sim", float64(s.SimHits), float64(s.SimDiskHits), float64(s.SimMisses), simRate)
+	t.AddRow("analysis", float64(s.AnaHits), float64(s.AnaDiskHits), float64(s.AnaMisses), anaRate)
 	t.Render(w)
-	fmt.Fprintf(w, "sim jobs run: %d (%.2f cpu-s, %.2f Minst/s); traces generated: %d (%.2f cpu-s)\n",
+	fmt.Fprintf(w, "sim jobs run: %d (%.2f cpu-s, %.2f Minst/s); traces generated: %d (%.2f cpu-s); analyses run: %d (%.2f cpu-s)\n",
 		s.SimJobs, float64(s.SimWallNs)/1e9, s.SimInstsPerSec()/1e6,
-		s.TraceJobs, float64(s.TraceWallNs)/1e9)
+		s.TraceJobs, float64(s.TraceWallNs)/1e9,
+		s.AnaJobs, float64(s.AnaWallNs)/1e9)
 	fmt.Fprintf(w, "cache: %d entries, %.1f MiB resident, %d evictions/demotions\n",
 		s.CacheEntries, float64(s.CacheBytes)/(1<<20), s.Evictions)
 	if s.DiskErr != nil {

@@ -31,19 +31,11 @@ func SlackStudy(opts Options) (*SlackStudyResult, error) {
 	t := &stats.Table{Title: "Slack analysis (4x2w, focused): why LoC beats slack as a static metric",
 		Columns: []string{"mean", "zero-frac", ">=fwd", ">=10", "perPC-sd", "misbr-zero"}}
 	rows, err := parBench(opts, func(bench string) ([]float64, error) {
-		tr, err := genTrace(opts, bench)
+		cs, err := analysis(opts, bench, 4, StackFocused)
 		if err != nil {
 			return nil, err
 		}
-		out, err := runStack(opts, bench, tr, 4, StackFocused, false)
-		if err != nil {
-			return nil, err
-		}
-		slack, err := critpath.ComputeSlack(out.m)
-		if err != nil {
-			return nil, err
-		}
-		s := critpath.SummarizeSlack(out.m, slack)
+		s := cs.Slack
 		return []float64{s.MeanSlack, s.ZeroFrac, s.GEFwdFrac, s.GE10Frac,
 			s.StaticStdDev, s.BimodalBranchFrac}, nil
 	})

@@ -177,6 +177,22 @@ func sim(opts Options, bench string, clusters int, stack Stack, trackExact bool,
 	})
 }
 
+// analysis submits one (benchmark, clusters, stack) run to the engine and
+// returns its cached critical-path analysis (breakdown, interaction
+// lattice, slack). Figure 5, Figure 6, the icost table and the slack
+// study all resolve to the same analysis keys, so the walk, the fused
+// 16-scenario replay and the slack relaxation each happen once per run —
+// in any process with a warm disk cache, zero times.
+func analysis(opts Options, bench string, clusters int, stack Stack) (engine.CritSummary, error) {
+	return opts.engine().Analysis(simKey(opts, bench, clusters, stack, false), func() (*engine.Artifact, error) {
+		tr, err := genTrace(opts, bench)
+		if err != nil {
+			return nil, err
+		}
+		return simulate(opts, bench, tr, clusters, stack, false, true)
+	})
+}
+
 // runStack is the compatibility wrapper for drivers that still want the
 // raw (machine, result, exact) triple: it routes through the engine so
 // the run is cached and deduplicated, requesting the live machine (and

@@ -120,11 +120,11 @@ func Figure14(opts Options) (*Figure14Result, error) {
 		var out []cell
 		for _, k := range clusterCounts {
 			for _, stack := range Stacks() {
-				run, err := sim(opts, bench, k, stack, false, engine.NeedResult|engine.NeedMachine)
+				a, err := analysis(opts, bench, k, stack)
 				if err != nil {
 					return nil, err
 				}
-				a, err := run.Analysis()
+				run, err := sim(opts, bench, k, stack, false, engine.NeedResult)
 				if err != nil {
 					return nil, err
 				}

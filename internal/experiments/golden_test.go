@@ -39,11 +39,32 @@ func TestGoldenFigure2(t *testing.T) {
 	}
 }
 
+// TestGoldenICostMatrix pins the InteractionMatrix output of the fused
+// replay on the gcc/vpr goldens: the legacy fwd/contention pair plus a
+// cross-component pairwise cell, in raw cycles. Any drift in the replay
+// arithmetic (or the simulator behind it) shows up here exactly.
+func TestGoldenICostMatrix(t *testing.T) {
+	opts := Options{Insts: 20_000, Benchmarks: []string{"vpr", "gcc"}}
+	r, err := ICost(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%d %d %d %d %d %d",
+		r.TotalFwd, r.TotalCont, r.TotalBoth, r.TotalICost,
+		r.Pair[2][3], // mem × br-mispredict interaction
+		r.Pair[0][2]) // fwd × mem interaction
+	want := golden(t, "icost-matrix", got)
+	if got != want {
+		t.Errorf("ICost matrix golden mismatch:\n got %s\nwant %s\n(replay or simulator behavior changed: update deliberately)", got, want)
+	}
+}
+
 // goldenValues holds the pinned outputs. Keeping them in code (rather
 // than testdata files) makes behavior changes visible in review.
 var goldenValues = map[string]string{
-	"figure4": "1.079224 1.068801 1.083907",
-	"figure2": "1.019532 1.046488 1.000978",
+	"figure4":      "1.079224 1.068801 1.083907",
+	"figure2":      "1.019532 1.046488 1.000978",
+	"icost-matrix": "1494 4425 5868 -51 -2458 -8",
 }
 
 // golden returns the pinned value, or — when running with

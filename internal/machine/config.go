@@ -14,7 +14,16 @@ import (
 	"fmt"
 
 	"clustersim/internal/cache"
+	"clustersim/internal/isa"
 )
+
+// loadAgenCycles is the address-generation portion of a load's latency:
+// the ISA's nominal load latency minus the default L1 hit time it bakes
+// in. The machine composes a load's actual latency as this constant plus
+// the configured cache's access latency, so a Config with a non-default
+// L1.HitCycles is honored (and identical to the ISA latency on the
+// defaults).
+var loadAgenCycles = int64(isa.Load.Latency()) - int64(cache.L1Config().HitCycles)
 
 // Config describes one machine configuration. Use NewConfig to partition
 // the paper's Table 1 resources among a number of clusters.
@@ -130,6 +139,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: gshare predictor needs history bits")
 	}
 	return nil
+}
+
+// LoadHitLatency returns the total latency of an L1-hit load under this
+// configuration: address generation plus the configured hit time. This is
+// the latency the critpath MemLatency idealization reduces loads to.
+func (c Config) LoadHitLatency() int64 {
+	return loadAgenCycles + int64(c.L1.HitCycles)
 }
 
 // Name returns the paper's name for the configuration (e.g. "4x2w").

@@ -1,0 +1,59 @@
+package machine_test
+
+import (
+	"testing"
+
+	"clustersim/internal/isa"
+	"clustersim/internal/machine"
+	"clustersim/internal/steer"
+)
+
+// TestLoadLatencyHonorsConfiguredHitCycles pins the load-latency model:
+// a load's latency is address generation plus the cache's reported access
+// time, so a non-default L1.HitCycles changes hit latency instead of
+// being silently ignored (and on the default geometry nothing changes —
+// the committed goldens depend on that).
+func TestLoadLatencyHonorsConfiguredHitCycles(t *testing.T) {
+	ld := func(dst isa.Reg) isa.Inst {
+		in := mk(isa.Load, dst)
+		in.Addr = 0x4000
+		return in
+	}
+	for _, tc := range []struct {
+		name      string
+		hitCycles int
+	}{
+		{"default", 0}, // keep NewConfig's L1Config value
+		{"slow-hit", 6},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := machine.NewConfig(1)
+			if tc.hitCycles != 0 {
+				cfg.L1.HitCycles = tc.hitCycles
+			}
+			// Two loads to one line: the first misses cold, the second hits.
+			tr := buildTrace(ld(1), ld(2))
+			m, _ := run(t, cfg, tr, steer.DepBased{})
+			ev := m.Events()
+
+			wantHit := cfg.LoadHitLatency()
+			wantMiss := wantHit + int64(cfg.L1.MissCycles)
+			if got := ev[0].Complete - ev[0].Issue; got != wantMiss {
+				t.Errorf("miss latency %d, want %d", got, wantMiss)
+			}
+			if !ev[0].L1Miss || ev[1].L1Miss {
+				t.Errorf("miss flags = %v %v, want true false", ev[0].L1Miss, ev[1].L1Miss)
+			}
+			if got := ev[1].Complete - ev[1].Issue; got != wantHit {
+				t.Errorf("hit latency %d, want %d", got, wantHit)
+			}
+			if tc.hitCycles == 0 {
+				// The default must equal the ISA's nominal load latency.
+				if wantHit != int64(isa.Load.Latency()) {
+					t.Errorf("default hit latency %d != ISA latency %d",
+						wantHit, isa.Load.Latency())
+				}
+			}
+		})
+	}
+}

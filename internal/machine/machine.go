@@ -772,8 +772,11 @@ func (m *Machine) issueOne(cd *candidate) {
 		accessLat, hit := m.l1.Access(in.Addr)
 		if !hit {
 			ev.L1Miss = true
-			lat += int64(accessLat - m.cfg.L1.HitCycles) // the L2 penalty
 		}
+		// Address generation plus the cache's reported access time, so a
+		// non-default L1.HitCycles changes hit latency too (identical to
+		// the ISA latency on the default geometry).
+		lat = loadAgenCycles + int64(accessLat)
 	} else if in.Op == isa.Store {
 		m.l1.Access(in.Addr) // write-allocate; latency hidden by commit
 	}
