@@ -12,6 +12,7 @@ import (
 
 	"clustersim/internal/critpath"
 	"clustersim/internal/experiments"
+	"clustersim/internal/listsched"
 	"clustersim/internal/machine"
 	"clustersim/internal/predictor"
 	"clustersim/internal/steer"
@@ -324,6 +325,61 @@ func BenchmarkCritAnalyzePooled(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchSchedInput harvests scheduler constraints from one monolithic
+// dep-based run, the input every idealized-scheduling study starts from.
+func benchSchedInput(b *testing.B) listsched.Input {
+	tr, err := GenerateTrace("vpr", 50_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := machine.New(machine.NewConfig(1), tr, steer.DepBased{}, machine.Hooks{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run()
+	return listsched.FromMachineRun(m)
+}
+
+// BenchmarkSchedRun times the reference single-variant Run path on the
+// 8x1w oracle schedule (fresh heap/lane/pending state every call).
+func BenchmarkSchedRun(b *testing.B) {
+	in := benchSchedInput(b)
+	oracle := listsched.NewOracle(in)
+	cfg := listsched.ConfigFor(machine.NewConfig(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := listsched.Run(in, cfg, oracle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(in.Trace.Len()*b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkSchedVariants times the pooled fused engine replaying the
+// oracle priority across all four cluster counts in one call — the
+// dependence CSR and region split are built once and shared.
+// BENCH_listsched.json records the fused-vs-Run comparison on the full
+// 13-variant workload via `clustersim -bench-sched-json`.
+func BenchmarkSchedVariants(b *testing.B) {
+	in := benchSchedInput(b)
+	oracle := listsched.NewOracle(in)
+	var variants []listsched.Variant
+	for _, k := range []int{1, 2, 4, 8} {
+		variants = append(variants, listsched.Variant{Config: listsched.ConfigFor(machine.NewConfig(k)), Pri: oracle})
+	}
+	sch := listsched.NewScheduler()
+	defer sch.Recycle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sch.ScheduleVariants(in, variants); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(in.Trace.Len()*len(variants)*b.N)/b.Elapsed().Seconds(), "variant-insts/s")
 }
 
 func BenchmarkListScheduler(b *testing.B) {

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"clustersim/internal/listsched"
+	"clustersim/internal/machine"
+	"clustersim/internal/predictor"
+	"clustersim/internal/steer"
+	"clustersim/internal/workload"
+)
+
+// schedBenchPoint is one benchmark row of the list-scheduler sweep: the
+// pooled fused ScheduleVariants engine against the reference Run path,
+// both covering the same 13-variant set (monolithic baseline plus
+// 2/4/8 clusters under the oracle, LoC and binary priorities — the
+// Figure 2 and Section 4 workload fused into one batch).
+type schedBenchPoint struct {
+	Bench    string `json:"bench"`
+	Insts    int    `json:"insts"`
+	Variants int    `json:"variants"`
+	Runs     int    `json:"runs"`
+
+	FusedNsPerRun  float64 `json:"fused_ns_per_run"`
+	OracleNsPerRun float64 `json:"oracle_ns_per_run"`
+	Speedup        float64 `json:"speedup"`
+
+	FusedAllocsPerRun  float64 `json:"fused_allocs_per_run"`
+	OracleAllocsPerRun float64 `json:"oracle_allocs_per_run"`
+	AllocRatio         float64 `json:"alloc_ratio"`
+}
+
+// schedBenchReport is the BENCH_listsched.json schema; CI uploads it so
+// the scheduling-throughput trajectory is tracked per commit.
+type schedBenchReport struct {
+	Schema            string            `json:"schema"`
+	GoVersion         string            `json:"go_version"`
+	Insts             int               `json:"insts"`
+	Seed              uint64            `json:"seed"`
+	Variants          int               `json:"variants"`
+	Points            []schedBenchPoint `json:"points"`
+	GeomeanSpeedup    float64           `json:"geomean_speedup"`
+	GeomeanAllocRatio float64           `json:"geomean_alloc_ratio"`
+}
+
+// schedBenchVariants builds the 13-variant workload over a harvest. The
+// LoC/binary priorities train a deterministic exact tracker from the
+// oracle's own marks, so the sweep needs no detector-instrumented run.
+func schedBenchVariants(in listsched.Input, fwd int) ([]listsched.Variant, error) {
+	oracle := listsched.NewOracle(in)
+	exact := predictor.NewExact()
+	var maxKey int64
+	n := in.Trace.Len()
+	for i := 0; i < n; i++ {
+		if k := oracle.Key(int64(i), 0); k > maxKey {
+			maxKey = k
+		}
+	}
+	for i := 0; i < n; i++ {
+		exact.Train(in.Trace.Insts[i].PC, oracle.Key(int64(i), 0) > maxKey/2)
+	}
+	loc16, err := listsched.NewLoCPriority(exact, 16)
+	if err != nil {
+		return nil, err
+	}
+	locUnl, err := listsched.NewLoCPriority(exact, 0)
+	if err != nil {
+		return nil, err
+	}
+	binary, err := listsched.NewBinaryPriority(exact, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg := func(clusters int) listsched.Config {
+		mc := machine.NewConfig(clusters)
+		mc.FwdLatency = fwd
+		return listsched.ConfigFor(mc)
+	}
+	variants := []listsched.Variant{{Config: cfg(1), Pri: oracle}}
+	for _, k := range []int{2, 4, 8} {
+		for _, pri := range []listsched.Priority{oracle, loc16, locUnl, binary} {
+			variants = append(variants, listsched.Variant{Config: cfg(k), Pri: pri})
+		}
+	}
+	return variants, nil
+}
+
+// runBenchSchedJSON executes the list-scheduler sweep and writes the
+// report. Fused and reference schedules are cross-checked for exact
+// equality (and validated with listsched.Check) on every point before
+// timing, so the sweep doubles as a differential gate.
+func runBenchSchedJSON(path string, insts int, seed uint64, fwd int, benches []string) error {
+	if len(benches) == 0 {
+		benches = []string{"gzip", "vpr", "gcc", "mcf"}
+	}
+	rep := schedBenchReport{
+		Schema:    "clustersim/bench-listsched/v1",
+		GoVersion: runtime.Version(),
+		Insts:     insts,
+		Seed:      seed,
+	}
+	logSpeed := 0.0
+	logAlloc := 0.0
+	for _, bench := range benches {
+		tr, err := workload.Generate(bench, insts, seed)
+		if err != nil {
+			return err
+		}
+		m, err := machine.New(machine.NewConfig(1), tr, steer.DepBased{}, machine.Hooks{})
+		if err != nil {
+			return err
+		}
+		m.Run()
+		in := listsched.FromMachineRun(m)
+		variants, err := schedBenchVariants(in, fwd)
+		if err != nil {
+			return err
+		}
+		rep.Variants = len(variants)
+
+		// Differential gate before timing anything.
+		sch := listsched.NewScheduler()
+		fast, err := sch.ScheduleVariants(in, variants)
+		if err != nil {
+			return err
+		}
+		for j, v := range variants {
+			want, err := listsched.Run(in, v.Config, v.Pri)
+			if err != nil {
+				return err
+			}
+			if err := listsched.Check(in, v.Config, fast[j]); err != nil {
+				return fmt.Errorf("%s variant %d: %v", bench, j, err)
+			}
+			if fast[j].Makespan != want.Makespan || fast[j].CrossEdges != want.CrossEdges ||
+				fast[j].DyadicCross != want.DyadicCross {
+				return fmt.Errorf("%s variant %d: fused (%d,%d,%d) != reference (%d,%d,%d)",
+					bench, j, fast[j].Makespan, fast[j].CrossEdges, fast[j].DyadicCross,
+					want.Makespan, want.CrossEdges, want.DyadicCross)
+			}
+			for i := range want.Start {
+				if fast[j].Start[i] != want.Start[i] || fast[j].Cluster[i] != want.Cluster[i] {
+					return fmt.Errorf("%s variant %d: schedules diverge at instruction %d", bench, j, i)
+				}
+			}
+		}
+		sch.Recycle()
+
+		fused := func() {
+			s := listsched.NewScheduler()
+			if _, err := s.ScheduleVariants(in, variants); err != nil {
+				panic(err)
+			}
+			s.Recycle()
+		}
+		reference := func() {
+			for _, v := range variants {
+				if _, err := listsched.Run(in, v.Config, v.Pri); err != nil {
+					panic(err)
+				}
+			}
+		}
+		fNs, fAllocs, runs := measure(fused, 3, 150*time.Millisecond)
+		oNs, oAllocs, _ := measure(reference, 3, 150*time.Millisecond)
+
+		pt := schedBenchPoint{
+			Bench: bench, Insts: insts, Variants: len(variants),
+			Runs:          runs,
+			FusedNsPerRun: fNs, OracleNsPerRun: oNs,
+			Speedup:           oNs / fNs,
+			FusedAllocsPerRun: fAllocs, OracleAllocsPerRun: oAllocs,
+			AllocRatio:        oAllocs / math.Max(fAllocs, 1),
+		}
+		rep.Points = append(rep.Points, pt)
+		logSpeed += math.Log(pt.Speedup)
+		logAlloc += math.Log(pt.AllocRatio)
+		fmt.Fprintf(os.Stderr, "schedbench %-6s: fused %.2fms reference %.2fms speedup %.2fx allocs %.0f vs %.0f (%.0fx)\n",
+			bench, fNs/1e6, oNs/1e6, pt.Speedup, fAllocs, oAllocs, pt.AllocRatio)
+	}
+	n := float64(len(rep.Points))
+	rep.GeomeanSpeedup = math.Exp(logSpeed / n)
+	rep.GeomeanAllocRatio = math.Exp(logAlloc / n)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "geomean speedup %.2fx, geomean alloc ratio %.1fx -> %s\n",
+		rep.GeomeanSpeedup, rep.GeomeanAllocRatio, path)
+	return nil
+}

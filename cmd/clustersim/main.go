@@ -35,6 +35,8 @@
 //	               (wakeup vs oracle scheduler; ns/run and allocs/run)
 //	-bench-crit-json f  run the critical-path analysis sweep and write f
 //	               (fused 16-scenario replay vs per-scenario oracle)
+//	-bench-sched-json f  run the list-scheduler sweep and write f
+//	               (pooled fused ScheduleVariants vs reference Run)
 package main
 
 import (
@@ -62,6 +64,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	benchJSON := flag.String("bench-json", "", "run the machine micro-benchmark sweep (wakeup vs oracle scheduler) and write its JSON report here")
 	benchCritJSON := flag.String("bench-crit-json", "", "run the critical-path analysis sweep (fused multi-scenario replay vs per-scenario oracle) and write its JSON report here")
+	benchSchedJSON := flag.String("bench-sched-json", "", "run the list-scheduler sweep (pooled fused ScheduleVariants vs reference Run) and write its JSON report here")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: clustersim [flags] <experiment> ...")
 		fmt.Fprintln(os.Stderr, "experiments: config fig2 fig2-attrib fig4 fig5 fig6 fig8 fig14 fig14-detail fig15 loc-oracle consumers fwd-sweep stall-sweep slack detector-compare window-sweep bandwidth-sweep replication icost group-steer predictor-sweep workloads future-work all")
@@ -103,6 +106,13 @@ func main() {
 	if *benchCritJSON != "" {
 		if err := runBenchCritJSON(*benchCritJSON, *n, *seed, opts.Benchmarks); err != nil {
 			fmt.Fprintln(os.Stderr, "clustersim: bench-crit-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchSchedJSON != "" {
+		if err := runBenchSchedJSON(*benchSchedJSON, *n, *seed, *fwd, opts.Benchmarks); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim: bench-sched-json:", err)
 			os.Exit(1)
 		}
 		return

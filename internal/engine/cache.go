@@ -21,6 +21,7 @@ const (
 	kindTrace entryKind = iota
 	kindSim
 	kindAnalysis
+	kindSched
 )
 
 // entry is one memory-cache slot.
@@ -30,6 +31,7 @@ type entry struct {
 	tr    *trace.Trace
 	art   *Artifact
 	crit  *CritSummary
+	sched *SchedSummary
 	insts int
 	cost  int64
 	elem  *list.Element
@@ -77,6 +79,12 @@ func (c *memCache) putSim(key string, a *Artifact, insts int) {
 // nothing to demote).
 func (c *memCache) putAnalysis(key string, cs *CritSummary) {
 	c.put(&entry{key: key, kind: kindAnalysis, crit: cs, cost: baseCost})
+}
+
+// putSched caches a derived schedule summary — four scalars, so like
+// analyses it is dropped (not demoted) under pressure.
+func (c *memCache) putSched(key string, ss *SchedSummary) {
+	c.put(&entry{key: key, kind: kindSched, sched: ss, cost: baseCost})
 }
 
 func (c *memCache) put(e *entry) {
@@ -182,6 +190,38 @@ func (d *diskCache) storeAnalysis(canon string, cs *CritSummary) error {
 		return err
 	}
 	return atomicWrite(d.analysisPath(canon), data)
+}
+
+// schedEnvelope is the on-disk schedule-summary format, keyed and
+// verified like resultEnvelope (the canon already folds in both
+// schemaVersion and schedVersion).
+type schedEnvelope struct {
+	Key     string
+	Summary SchedSummary
+}
+
+func (d *diskCache) schedPath(canon string) string {
+	return filepath.Join(d.dir, "sched-"+hashKey(canon)+".json")
+}
+
+func (d *diskCache) loadSched(canon string) (*SchedSummary, bool) {
+	data, err := os.ReadFile(d.schedPath(canon))
+	if err != nil {
+		return nil, false
+	}
+	var env schedEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Key != canon {
+		return nil, false
+	}
+	return &env.Summary, true
+}
+
+func (d *diskCache) storeSched(canon string, ss *SchedSummary) error {
+	data, err := json.Marshal(schedEnvelope{Key: canon, Summary: *ss})
+	if err != nil {
+		return err
+	}
+	return atomicWrite(d.schedPath(canon), data)
 }
 
 func (d *diskCache) loadResult(key SimKey) (machine.Result, bool) {

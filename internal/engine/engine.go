@@ -72,12 +72,13 @@ type Engine struct {
 	disk    *diskCache
 	diskErr error
 
-	cTraceHit, cTraceMiss          *metrics.Counter
-	cSimHit, cSimDiskHit, cSimMiss *metrics.Counter
-	cAnaHit, cAnaDiskHit, cAnaMiss *metrics.Counter
-	cDiskErr                       *metrics.Counter
-	cInsts                         *metrics.Counter
-	tSim, tTrace, tAna             *metrics.Timer
+	cTraceHit, cTraceMiss                *metrics.Counter
+	cSimHit, cSimDiskHit, cSimMiss       *metrics.Counter
+	cAnaHit, cAnaDiskHit, cAnaMiss       *metrics.Counter
+	cSchedHit, cSchedDiskHit, cSchedMiss *metrics.Counter
+	cDiskErr                             *metrics.Counter
+	cInsts                               *metrics.Counter
+	tSim, tTrace, tAna, tSched           *metrics.Timer
 }
 
 // call is one in-flight singleflight execution.
@@ -109,19 +110,23 @@ func New(cfg Config) *Engine {
 		mem:      newMemCache(maxBytes),
 		inflight: map[string]*call{},
 
-		cTraceHit:   met.Counter("engine.trace.hit"),
-		cTraceMiss:  met.Counter("engine.trace.miss"),
-		cSimHit:     met.Counter("engine.sim.hit"),
-		cSimDiskHit: met.Counter("engine.sim.disk_hit"),
-		cSimMiss:    met.Counter("engine.sim.miss"),
-		cAnaHit:     met.Counter("engine.analysis.hit"),
-		cAnaDiskHit: met.Counter("engine.analysis.disk_hit"),
-		cAnaMiss:    met.Counter("engine.analysis.miss"),
-		cDiskErr:    met.Counter("engine.disk.error"),
-		cInsts:      met.Counter("engine.sim.insts"),
-		tSim:        met.Timer("engine.sim.run"),
-		tTrace:      met.Timer("engine.trace.gen"),
-		tAna:        met.Timer("engine.analysis.run"),
+		cTraceHit:     met.Counter("engine.trace.hit"),
+		cTraceMiss:    met.Counter("engine.trace.miss"),
+		cSimHit:       met.Counter("engine.sim.hit"),
+		cSimDiskHit:   met.Counter("engine.sim.disk_hit"),
+		cSimMiss:      met.Counter("engine.sim.miss"),
+		cAnaHit:       met.Counter("engine.analysis.hit"),
+		cAnaDiskHit:   met.Counter("engine.analysis.disk_hit"),
+		cAnaMiss:      met.Counter("engine.analysis.miss"),
+		cSchedHit:     met.Counter("engine.sched.hit"),
+		cSchedDiskHit: met.Counter("engine.sched.disk_hit"),
+		cSchedMiss:    met.Counter("engine.sched.miss"),
+		cDiskErr:      met.Counter("engine.disk.error"),
+		cInsts:        met.Counter("engine.sim.insts"),
+		tSim:          met.Timer("engine.sim.run"),
+		tTrace:        met.Timer("engine.trace.gen"),
+		tAna:          met.Timer("engine.analysis.run"),
+		tSched:        met.Timer("engine.sched.run"),
 	}
 	if cfg.CacheDir != "" {
 		e.disk, e.diskErr = newDiskCache(cfg.CacheDir)

@@ -12,15 +12,18 @@ import (
 type Summary struct {
 	Workers int
 
-	TraceHits   int64
-	TraceMisses int64
-	SimHits     int64
-	SimDiskHits int64
-	SimMisses   int64
-	AnaHits     int64
-	AnaDiskHits int64
-	AnaMisses   int64
-	DiskErrors  int64
+	TraceHits     int64
+	TraceMisses   int64
+	SimHits       int64
+	SimDiskHits   int64
+	SimMisses     int64
+	AnaHits       int64
+	AnaDiskHits   int64
+	AnaMisses     int64
+	SchedHits     int64
+	SchedDiskHits int64
+	SchedMisses   int64
+	DiskErrors    int64
 
 	// SimJobs/SimWallNs/SimInsts describe executed (non-cached) jobs;
 	// wall time sums across workers, so throughput is per CPU-second.
@@ -34,6 +37,11 @@ type Summary struct {
 	// AnaJobs/AnaWallNs describe executed (non-cached) analysis passes.
 	AnaJobs   int64
 	AnaWallNs int64
+
+	// SchedJobs/SchedWallNs describe executed (non-cached) fused
+	// schedule batches (one job may cover many variants).
+	SchedJobs   int64
+	SchedWallNs int64
 
 	CacheBytes   int64
 	CacheEntries int
@@ -65,24 +73,29 @@ func (s Summary) HitRate() float64 {
 // Summary snapshots the engine.
 func (e *Engine) Summary() Summary {
 	s := Summary{
-		Workers:     e.workers,
-		TraceHits:   e.cTraceHit.Load(),
-		TraceMisses: e.cTraceMiss.Load(),
-		SimHits:     e.cSimHit.Load(),
-		SimDiskHits: e.cSimDiskHit.Load(),
-		SimMisses:   e.cSimMiss.Load(),
-		AnaHits:     e.cAnaHit.Load(),
-		AnaDiskHits: e.cAnaDiskHit.Load(),
-		AnaMisses:   e.cAnaMiss.Load(),
-		DiskErrors:  e.cDiskErr.Load(),
-		SimJobs:     e.tSim.Count(),
-		SimWallNs:   e.tSim.TotalNs(),
-		SimInsts:    e.cInsts.Load(),
-		TraceJobs:   e.tTrace.Count(),
-		TraceWallNs: e.tTrace.TotalNs(),
-		AnaJobs:     e.tAna.Count(),
-		AnaWallNs:   e.tAna.TotalNs(),
-		DiskErr:     e.diskErr,
+		Workers:       e.workers,
+		TraceHits:     e.cTraceHit.Load(),
+		TraceMisses:   e.cTraceMiss.Load(),
+		SimHits:       e.cSimHit.Load(),
+		SimDiskHits:   e.cSimDiskHit.Load(),
+		SimMisses:     e.cSimMiss.Load(),
+		AnaHits:       e.cAnaHit.Load(),
+		AnaDiskHits:   e.cAnaDiskHit.Load(),
+		AnaMisses:     e.cAnaMiss.Load(),
+		SchedHits:     e.cSchedHit.Load(),
+		SchedDiskHits: e.cSchedDiskHit.Load(),
+		SchedMisses:   e.cSchedMiss.Load(),
+		DiskErrors:    e.cDiskErr.Load(),
+		SimJobs:       e.tSim.Count(),
+		SimWallNs:     e.tSim.TotalNs(),
+		SimInsts:      e.cInsts.Load(),
+		TraceJobs:     e.tTrace.Count(),
+		TraceWallNs:   e.tTrace.TotalNs(),
+		AnaJobs:       e.tAna.Count(),
+		AnaWallNs:     e.tAna.TotalNs(),
+		SchedJobs:     e.tSched.Count(),
+		SchedWallNs:   e.tSched.TotalNs(),
+		DiskErr:       e.diskErr,
 	}
 	e.mu.Lock()
 	s.CacheBytes = e.mem.bytes
@@ -116,14 +129,21 @@ func (e *Engine) RenderSummary(w io.Writer) {
 	if anaTotal > 0 {
 		anaRate = float64(s.AnaHits+s.AnaDiskHits) / anaTotal
 	}
+	schedTotal := float64(s.SchedHits + s.SchedDiskHits + s.SchedMisses)
+	schedRate := 0.0
+	if schedTotal > 0 {
+		schedRate = float64(s.SchedHits+s.SchedDiskHits) / schedTotal
+	}
 	t.AddRow("trace", float64(s.TraceHits), 0, float64(s.TraceMisses), traceRate)
 	t.AddRow("sim", float64(s.SimHits), float64(s.SimDiskHits), float64(s.SimMisses), simRate)
 	t.AddRow("analysis", float64(s.AnaHits), float64(s.AnaDiskHits), float64(s.AnaMisses), anaRate)
+	t.AddRow("sched", float64(s.SchedHits), float64(s.SchedDiskHits), float64(s.SchedMisses), schedRate)
 	t.Render(w)
-	fmt.Fprintf(w, "sim jobs run: %d (%.2f cpu-s, %.2f Minst/s); traces generated: %d (%.2f cpu-s); analyses run: %d (%.2f cpu-s)\n",
+	fmt.Fprintf(w, "sim jobs run: %d (%.2f cpu-s, %.2f Minst/s); traces generated: %d (%.2f cpu-s); analyses run: %d (%.2f cpu-s); schedule batches: %d (%.2f cpu-s)\n",
 		s.SimJobs, float64(s.SimWallNs)/1e9, s.SimInstsPerSec()/1e6,
 		s.TraceJobs, float64(s.TraceWallNs)/1e9,
-		s.AnaJobs, float64(s.AnaWallNs)/1e9)
+		s.AnaJobs, float64(s.AnaWallNs)/1e9,
+		s.SchedJobs, float64(s.SchedWallNs)/1e9)
 	fmt.Fprintf(w, "cache: %d entries, %.1f MiB resident, %d evictions/demotions\n",
 		s.CacheEntries, float64(s.CacheBytes)/(1<<20), s.Evictions)
 	if s.DiskErr != nil {

@@ -5,8 +5,6 @@ import (
 	"io"
 
 	"clustersim/internal/critpath"
-	"clustersim/internal/engine"
-	"clustersim/internal/listsched"
 	"clustersim/internal/machine"
 	"clustersim/internal/predictor"
 	"clustersim/internal/stats"
@@ -34,29 +32,16 @@ func FwdSweep(opts Options) (*FwdSweepResult, error) {
 		for li, lat := range r.Lats {
 			out[li] = make([]float64, len(clusterCounts))
 			// Vary the forwarding latency through the job key, so the
-			// lat == opts.Fwd row shares the cached Figure 2 run.
+			// lat == opts.Fwd row shares the cached Figure 2 run and its
+			// cached schedules.
 			latOpts := opts
 			latOpts.Fwd = lat
-			a, err := sim(latOpts, bench, 1, StackDepBased, false, engine.NeedMachine)
+			ss, err := idealSchedules(latOpts, bench, StackDepBased, false, oracleSweepSpecs(lat))
 			if err != nil {
 				return nil, err
 			}
-			cfg1 := machine.NewConfig(1)
-			cfg1.FwdLatency = lat
-			in := listsched.FromMachineRun(a.Machine())
-			oracle := listsched.NewOracle(in)
-			mono, err := listsched.Run(in, listsched.ConfigFor(cfg1), oracle)
-			if err != nil {
-				return nil, err
-			}
-			for i, k := range clusterCounts {
-				ck := machine.NewConfig(k)
-				ck.FwdLatency = lat
-				s, err := listsched.Run(in, listsched.ConfigFor(ck), oracle)
-				if err != nil {
-					return nil, err
-				}
-				out[li][i] = float64(s.Makespan) / float64(mono.Makespan)
+			for i := range clusterCounts {
+				out[li][i] = float64(ss[i+1].Makespan) / float64(ss[0].Makespan)
 			}
 		}
 		return out, nil

@@ -6,8 +6,6 @@ import (
 
 	"clustersim/internal/critpath"
 	"clustersim/internal/engine"
-	"clustersim/internal/listsched"
-	"clustersim/internal/machine"
 	"clustersim/internal/stats"
 )
 
@@ -32,41 +30,30 @@ const (
 // LoCOracle runs the list scheduler with each priority source.
 func LoCOracle(opts Options) (*LoCOracleResult, error) {
 	opts = opts.withDefaults()
+	names := []string{PriOracle, PriLoC16, PriLoCUnlimited, PriBinary}
 	losses, err := parBench(opts, func(bench string) (map[string][]float64, error) {
 		// The LoC/binary priorities use past criticality observed on the
-		// monolithic machine, via the detector's exact tracker.
-		out, err := sim(opts, bench, 1, StackFocused, true, engine.NeedMachine|engine.NeedExact)
+		// monolithic machine, via the detector's exact tracker; all 13
+		// variants (mono baseline + 3 cluster counts × 4 priorities) go
+		// through the schedule cache as one fused batch.
+		specs := []schedSpec{{1, opts.Fwd, PriOracle}}
+		for _, k := range clusterCounts {
+			for _, name := range names {
+				specs = append(specs, schedSpec{k, opts.Fwd, name})
+			}
+		}
+		ss, err := idealSchedules(opts, bench, StackFocused, true, specs)
 		if err != nil {
 			return nil, err
 		}
-		in := listsched.FromMachineRun(out.Machine())
-		oracle := listsched.NewOracle(in)
-		cfg1 := machine.NewConfig(1)
-		cfg1.FwdLatency = opts.Fwd
-		mono, err := listsched.Run(in, listsched.ConfigFor(cfg1), oracle)
-		if err != nil {
-			return nil, err
-		}
-		exact := out.Exact()
-		pris := map[string]listsched.Priority{
-			PriOracle:       oracle,
-			PriLoC16:        listsched.LoCPriority{Exact: exact, Levels: 16},
-			PriLoCUnlimited: listsched.LoCPriority{Exact: exact},
-			PriBinary:       listsched.BinaryPriority{Exact: exact},
-		}
+		mono := float64(ss[0].Makespan)
 		local := map[string][]float64{}
-		for name := range pris {
+		for _, name := range names {
 			local[name] = make([]float64, len(clusterCounts))
 		}
-		for i, k := range clusterCounts {
-			ck := machine.NewConfig(k)
-			ck.FwdLatency = opts.Fwd
-			for name, pri := range pris {
-				s, err := listsched.Run(in, listsched.ConfigFor(ck), pri)
-				if err != nil {
-					return nil, err
-				}
-				local[name][i] = float64(s.Makespan)/float64(mono.Makespan) - 1
+		for i := range clusterCounts {
+			for j, name := range names {
+				local[name][i] = float64(ss[1+i*len(names)+j].Makespan)/mono - 1
 			}
 		}
 		return local, nil
@@ -161,22 +148,19 @@ func AttributeFigure2(opts Options) (*Figure2Attribution, error) {
 	t := &stats.Table{Title: "Section 2.2: convergent dataflow in idealized schedules (8x1w)",
 		Columns: []string{"cross/1kinst", "dyadic-share"}}
 	rows, err := parBench(opts, func(bench string) ([2]float64, error) {
-		a, err := sim(opts, bench, 1, StackDepBased, false, engine.NeedMachine)
+		// Same schedule key as Figure 2's 8x1w point, so with a shared
+		// engine this driver neither simulates nor reschedules anything.
+		ss, err := idealSchedules(opts, bench, StackDepBased, false,
+			[]schedSpec{{8, opts.Fwd, PriOracle}})
 		if err != nil {
 			return [2]float64{}, err
 		}
-		in := listsched.FromMachineRun(a.Machine())
-		ck := machine.NewConfig(8)
-		ck.FwdLatency = opts.Fwd
-		s, err := listsched.Run(in, listsched.ConfigFor(ck), listsched.NewOracle(in))
-		if err != nil {
-			return [2]float64{}, err
-		}
+		s := ss[0]
 		share := 0.0
 		if s.CrossEdges > 0 {
 			share = float64(s.DyadicCross) / float64(s.CrossEdges)
 		}
-		return [2]float64{float64(s.CrossEdges) * 1000 / float64(a.Res.Insts), share}, nil
+		return [2]float64{float64(s.CrossEdges) * 1000 / float64(s.Insts), share}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -5,8 +5,6 @@ import (
 	"io"
 
 	"clustersim/internal/engine"
-	"clustersim/internal/listsched"
-	"clustersim/internal/machine"
 	"clustersim/internal/stats"
 )
 
@@ -36,28 +34,18 @@ func Figure2(opts Options) (*Figure2Result, error) {
 	}
 	rows, err := parBench(opts, func(bench string) (row, error) {
 		var r row
-		// Harvest dispatch/latency/misprediction constraints from the
-		// monolithic machine's retirement stream (a cached engine job
-		// shared with the other idealized studies).
-		a, err := sim(opts, bench, 1, StackDepBased, false, engine.NeedMachine)
+		// The harvest (dispatch/latency/misprediction constraints from
+		// the monolithic machine's retirement stream) and the schedules
+		// themselves both come from the engine's caches, shared with the
+		// other idealized studies: fwd-sweep, fig2-attrib and the
+		// replication study resolve to the same schedule keys.
+		ss, err := idealSchedules(opts, bench, StackDepBased, false, oracleSweepSpecs(opts.Fwd))
 		if err != nil {
 			return r, err
 		}
-		cfg1 := machine.NewConfig(1)
-		cfg1.FwdLatency = opts.Fwd
-		in := listsched.FromMachineRun(a.Machine())
-		oracle := listsched.NewOracle(in)
-		mono, err := listsched.Run(in, listsched.ConfigFor(cfg1), oracle)
-		if err != nil {
-			return r, err
-		}
-		for _, k := range clusterCounts {
-			ck := machine.NewConfig(k)
-			ck.FwdLatency = opts.Fwd
-			s, err := listsched.Run(in, listsched.ConfigFor(ck), oracle)
-			if err != nil {
-				return r, err
-			}
+		mono := ss[0]
+		for i, k := range clusterCounts {
+			s := ss[i+1]
 			r.vals = append(r.vals, float64(s.Makespan)/float64(mono.Makespan))
 			if k == 8 && s.CrossEdges > 0 {
 				r.dyadic = float64(s.DyadicCross) / float64(s.CrossEdges)

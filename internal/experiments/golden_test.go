@@ -39,6 +39,25 @@ func TestGoldenFigure2(t *testing.T) {
 	}
 }
 
+// TestGoldenLoCOracle pins the Section 4 priority-knowledge study. The
+// values were captured from the pre-engine direct listsched.Run path, so
+// this gate also pins the fused ScheduleVariants + schedule-cache route
+// to the original driver arithmetic.
+func TestGoldenLoCOracle(t *testing.T) {
+	opts := Options{Insts: 20_000, Benchmarks: []string{"gzip", "vpr", "mcf"}}
+	r, err := LoCOracle(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%.6f %.6f %.6f %.6f %.6f",
+		r.Loss[PriOracle][1], r.Loss[PriOracle][2], r.Loss[PriLoC16][2],
+		r.Loss[PriLoCUnlimited][2], r.Loss[PriBinary][2])
+	want := golden(t, "loc-oracle", got)
+	if got != want {
+		t.Errorf("LoC-oracle golden mismatch:\n got %s\nwant %s\n(scheduler or priority behavior changed: update deliberately)", got, want)
+	}
+}
+
 // TestGoldenICostMatrix pins the InteractionMatrix output of the fused
 // replay on the gcc/vpr goldens: the legacy fwd/contention pair plus a
 // cross-component pairwise cell, in raw cycles. Any drift in the replay
@@ -64,6 +83,7 @@ func TestGoldenICostMatrix(t *testing.T) {
 var goldenValues = map[string]string{
 	"figure4":      "1.079224 1.068801 1.083907",
 	"figure2":      "1.019532 1.046488 1.000978",
+	"loc-oracle":   "0.002831 0.022332 0.050405 0.050405 0.057492",
 	"icost-matrix": "1494 4425 5868 -51 -2458 -8",
 }
 

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/listsched"
+	"clustersim/internal/machine"
+)
+
+// schedSpec names one idealized-schedule variant of a harvest run: the
+// clustered resource model, the scheduler's forwarding latency and the
+// priority source by name. The priority is resolved deterministically
+// from the harvest artifact (the purity rule engine.SchedKey documents),
+// so a spec fully identifies its schedule.
+type schedSpec struct {
+	clusters int
+	fwd      int
+	pri      string
+}
+
+// config derives the list-scheduler resource model for the spec.
+func (sp schedSpec) config() listsched.Config {
+	mc := machine.NewConfig(sp.clusters)
+	mc.FwdLatency = sp.fwd
+	return listsched.ConfigFor(mc)
+}
+
+// schedPriority resolves a spec's named priority against the harvest
+// artifact: the oracle comes from the scheduler input itself, the LoC
+// and binary priorities from the run's exact criticality tracker.
+func schedPriority(name string, oracle *listsched.Oracle, a *engine.Artifact) (listsched.Priority, error) {
+	switch name {
+	case PriOracle:
+		return oracle, nil
+	case PriLoC16:
+		return listsched.NewLoCPriority(a.Exact(), 16)
+	case PriLoCUnlimited:
+		return listsched.NewLoCPriority(a.Exact(), 0)
+	case PriBinary:
+		return listsched.NewBinaryPriority(a.Exact(), 0)
+	}
+	return nil, fmt.Errorf("experiments: unknown schedule priority %q", name)
+}
+
+// idealSchedules returns summaries for the given schedule variants of
+// one harvest run, positionally aligned with specs, via the engine's
+// content-addressed schedule cache. On a warm cache nothing simulates
+// and nothing is rescheduled; on misses the harvest runs once
+// (requesting the exact tracker only when a missing priority needs it)
+// and every missing variant replays through a single pooled fused
+// ScheduleVariants call over the shared dependence structure.
+func idealSchedules(opts Options, bench string, stack Stack, trackExact bool, specs []schedSpec) ([]engine.SchedSummary, error) {
+	hk := simKey(opts, bench, 1, stack, trackExact)
+	keys := make([]engine.SchedKey, len(specs))
+	for i, sp := range specs {
+		keys[i] = engine.SchedKey{Harvest: hk, Config: sp.config(), Pri: sp.pri}
+	}
+	return opts.engine().Schedules(keys, func(miss []int) ([]engine.SchedSummary, error) {
+		need := engine.NeedMachine
+		for _, i := range miss {
+			if specs[i].pri != PriOracle {
+				need |= engine.NeedExact
+			}
+		}
+		a, err := sim(opts, bench, 1, stack, trackExact, need)
+		if err != nil {
+			return nil, err
+		}
+		in := listsched.FromMachineRun(a.Machine())
+		oracle := listsched.NewOracle(in)
+		variants := make([]listsched.Variant, len(miss))
+		for j, i := range miss {
+			pri, err := schedPriority(specs[i].pri, oracle, a)
+			if err != nil {
+				return nil, err
+			}
+			variants[j] = listsched.Variant{Config: keys[i].Config, Pri: pri}
+		}
+		sch := listsched.NewScheduler()
+		defer sch.Recycle()
+		scheds, err := sch.ScheduleVariants(in, variants)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]engine.SchedSummary, len(miss))
+		for j := range scheds {
+			out[j] = engine.SchedSummary{
+				Insts:       in.Trace.Len(),
+				Makespan:    scheds[j].Makespan,
+				CrossEdges:  scheds[j].CrossEdges,
+				DyadicCross: scheds[j].DyadicCross,
+			}
+		}
+		return out, nil
+	})
+}
+
+// oracleSweepSpecs is the Figure 2 variant set: the monolithic baseline
+// plus every clustered configuration, all under the oracle priority at
+// forwarding latency fwd.
+func oracleSweepSpecs(fwd int) []schedSpec {
+	specs := make([]schedSpec, 0, 1+len(clusterCounts))
+	specs = append(specs, schedSpec{1, fwd, PriOracle})
+	for _, k := range clusterCounts {
+		specs = append(specs, schedSpec{k, fwd, PriOracle})
+	}
+	return specs
+}

@@ -6,7 +6,6 @@ import (
 
 	"clustersim/internal/engine"
 	"clustersim/internal/listsched"
-	"clustersim/internal/machine"
 	"clustersim/internal/stats"
 )
 
@@ -40,40 +39,35 @@ func Replication(opts Options) (*ReplicationResult, error) {
 	outs, err := parBench(opts, func(bench string) (out, error) {
 		var o out
 		o.gains = make([]float64, len(clusterCounts))
-		tr, err := genTrace(opts, bench)
-		if err != nil {
-			return o, err
-		}
+		// The monolithic baseline and plain clustered schedules resolve
+		// to the same schedule-cache keys Figure 2 produces, so a shared
+		// engine replays none of them here. Replicated schedules stay on
+		// the direct path: they need per-instruction placements (replica
+		// sets), which the cache deliberately does not retain.
 		a, err := sim(opts, bench, 1, StackDepBased, false, engine.NeedMachine)
 		if err != nil {
 			return o, err
 		}
-		cfg1 := machine.NewConfig(1)
-		cfg1.FwdLatency = opts.Fwd
 		in := listsched.FromMachineRun(a.Machine())
 		pri := listsched.NewOracle(in)
-		mono, err := listsched.Run(in, listsched.ConfigFor(cfg1), pri)
+		ss, err := idealSchedules(opts, bench, StackDepBased, false, oracleSweepSpecs(opts.Fwd))
 		if err != nil {
 			return o, err
 		}
+		mono := ss[0]
 		for i, k := range clusterCounts {
-			ck := machine.NewConfig(k)
-			ck.FwdLatency = opts.Fwd
-			plain, err := listsched.Run(in, listsched.ConfigFor(ck), pri)
+			sp := schedSpec{k, opts.Fwd, PriOracle}
+			repl, err := listsched.RunReplicated(in, sp.config(), pri)
 			if err != nil {
 				return o, err
 			}
-			repl, err := listsched.RunReplicated(in, listsched.ConfigFor(ck), pri)
-			if err != nil {
-				return o, err
-			}
-			p := float64(plain.Makespan) / float64(mono.Makespan)
+			p := float64(ss[i+1].Makespan) / float64(mono.Makespan)
 			r := float64(repl.Makespan) / float64(mono.Makespan)
 			o.gains[i] = p - r
 			if k == 8 {
 				o.row = [2]float64{p, r}
 				o.replicas = float64(len(repl.Replicas))
-				o.insts = float64(tr.Len())
+				o.insts = float64(ss[i+1].Insts)
 			}
 		}
 		return o, nil

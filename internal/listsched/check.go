@@ -1,0 +1,123 @@
+package listsched
+
+import "fmt"
+
+// Check verifies that s is a legal, consistently-accounted schedule of
+// in onto cfg, independently of which scheduler produced it:
+//
+//   - the region shift is re-derived from the schedule itself and every
+//     start respects release + shift;
+//   - completion times equal start + observed latency;
+//   - cluster assignments are in range;
+//   - every operand is available at start, paying cfg.Fwd for
+//     cross-cluster producers;
+//   - no (cluster, cycle) exceeds the issue width or its per-class
+//     functional-unit limit;
+//   - Makespan, CrossEdges and DyadicCross match an independent
+//     per-value recount.
+//
+// It is intentionally simple and allocation-heavy — a verification
+// oracle for tests and fuzzing, not a hot path.
+func Check(in Input, cfg Config, s *Schedule) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if cfg.Clusters < 1 || cfg.Width < 1 || cfg.Int < 1 || cfg.FP < 1 || cfg.Mem < 1 || cfg.Fwd < 0 {
+		return fmt.Errorf("listsched: invalid config %+v", cfg)
+	}
+	tr := in.Trace
+	n := tr.Len()
+	if len(s.Start) != n || len(s.Complete) != n || len(s.Cluster) != n {
+		return fmt.Errorf("listsched: schedule sized %d/%d/%d for %d instructions",
+			len(s.Start), len(s.Complete), len(s.Cluster), n)
+	}
+
+	type slot struct {
+		cluster int16
+		cycle   int64
+	}
+	width := map[slot]int{}
+	fus := map[slot]map[int]int{}
+	limits := [lanesPer]int{laneWidth: cfg.Width, laneInt: cfg.Int, laneFP: cfg.FP, laneMem: cfg.Mem}
+
+	var prodBuf []int32
+	var shift, maxComplete, cross, dyadic int64
+	rs := 0
+	for rs < n {
+		re := rs
+		for re < n {
+			re++
+			if in.Mispredicted[re-1] {
+				break
+			}
+		}
+		for i := rs; i < re; i++ {
+			if s.Start[i] < in.Release[i]+shift {
+				return fmt.Errorf("listsched: inst %d starts at %d before release %d + shift %d",
+					i, s.Start[i], in.Release[i], shift)
+			}
+			if s.Complete[i] != s.Start[i]+in.Latency[i] {
+				return fmt.Errorf("listsched: inst %d completes at %d, want start %d + latency %d",
+					i, s.Complete[i], s.Start[i], in.Latency[i])
+			}
+			if s.Cluster[i] < 0 || int(s.Cluster[i]) >= cfg.Clusters {
+				return fmt.Errorf("listsched: inst %d on cluster %d of %d", i, s.Cluster[i], cfg.Clusters)
+			}
+			if s.Complete[i] > maxComplete {
+				maxComplete = s.Complete[i]
+			}
+			inst := &tr.Insts[i]
+			prodBuf = dedupProducers(tr.Producers(i, prodBuf[:0]))
+			for _, p := range prodBuf {
+				avail := s.Complete[p]
+				if s.Cluster[p] != s.Cluster[i] {
+					avail += int64(cfg.Fwd)
+					cross++
+					if inst.NumSrcs() == 2 {
+						dyadic++
+					}
+				}
+				if s.Start[i] < avail {
+					return fmt.Errorf("listsched: inst %d starts at %d before operand from %d available at %d",
+						i, s.Start[i], p, avail)
+				}
+			}
+			k := slot{s.Cluster[i], s.Start[i]}
+			width[k]++
+			if fus[k] == nil {
+				fus[k] = map[int]int{}
+			}
+			fus[k][fuClass(inst.Op)]++
+		}
+		b := re - 1
+		if in.Mispredicted[b] {
+			if excess := s.Complete[b] - (in.Complete[b] + shift); excess > 0 {
+				shift += excess
+			}
+		}
+		rs = re
+	}
+
+	for k, used := range width {
+		if used > cfg.Width {
+			return fmt.Errorf("listsched: cluster %d cycle %d issues %d > width %d",
+				k.cluster, k.cycle, used, cfg.Width)
+		}
+	}
+	for k, classes := range fus {
+		for class, used := range classes {
+			if used > limits[class] {
+				return fmt.Errorf("listsched: cluster %d cycle %d uses %d class-%d units > %d",
+					k.cluster, k.cycle, used, class, limits[class])
+			}
+		}
+	}
+	if s.Makespan != maxComplete {
+		return fmt.Errorf("listsched: makespan %d, recounted %d", s.Makespan, maxComplete)
+	}
+	if s.CrossEdges != cross || s.DyadicCross != dyadic {
+		return fmt.Errorf("listsched: cross/dyadic %d/%d, recounted %d/%d",
+			s.CrossEdges, s.DyadicCross, cross, dyadic)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package listsched
+
+import "math/bits"
+
+// bitLane is the fast path's per-(cluster, resource) occupancy tracker.
+// It keeps the oracle's per-cycle use counts and additionally a bitmap
+// with one bit per cycle, set when that cycle is at capacity. Finding
+// the next issue slot is then a word scan over the OR of the width and
+// functional-unit bitmaps instead of the oracle's one-cycle-at-a-time
+// probe — saturated stretches (tight schedules probe hundreds of full
+// cycles under narrow configs) cost one uint64 load per 64 cycles.
+//
+// Storage grows in laneChunk-cycle quanta and is recycled across
+// variants and runs; cycles beyond len(count) are implicitly free.
+type bitLane struct {
+	count []uint8
+	full  []uint64
+	cap   uint8
+}
+
+// reset prepares the lane for a new variant, keeping capacity.
+func (l *bitLane) reset(capacity uint8) {
+	l.cap = capacity
+	clear(l.count)
+	clear(l.full)
+}
+
+// ensure grows the lane to cover cycle t. Newly exposed storage is
+// cleared explicitly: pooled lanes may hold stale counts from a longer
+// earlier variant beyond the current length.
+func (l *bitLane) ensure(t int64) {
+	need := int(t) + 1
+	if len(l.count) >= need {
+		return
+	}
+	need = (need + laneChunk - 1) &^ (laneChunk - 1)
+	if cap(l.count) >= need {
+		old := len(l.count)
+		l.count = l.count[:need]
+		clear(l.count[old:])
+	} else {
+		grown := make([]uint8, need)
+		copy(grown, l.count)
+		l.count = grown
+	}
+	words := need >> 6
+	if cap(l.full) >= words {
+		old := len(l.full)
+		l.full = l.full[:words]
+		clear(l.full[old:])
+	} else {
+		grown := make([]uint64, words)
+		copy(grown, l.full)
+		l.full = grown
+	}
+}
+
+// take books one unit at cycle t, marking the cycle full when the count
+// reaches capacity.
+func (l *bitLane) take(t int64) {
+	l.ensure(t)
+	c := l.count[t] + 1
+	l.count[t] = c
+	if c == l.cap {
+		l.full[t>>6] |= 1 << uint(t&63)
+	}
+}
+
+// fullWord returns the at-capacity bitmap word w (cycles beyond the
+// grown window are free).
+func (l *bitLane) fullWord(w int) uint64 {
+	if w >= len(l.full) {
+		return 0
+	}
+	return l.full[w]
+}
+
+// nextFree returns the earliest cycle >= t with headroom in both the
+// width lane and the functional-unit lane — exactly the cycle the
+// oracle's `for !fits(op, t) { t++ }` probe lands on.
+func nextFree(wl, fl *bitLane, t int64) int64 {
+	for {
+		w := int(t >> 6)
+		comb := wl.fullWord(w) | fl.fullWord(w)
+		comb |= 1<<uint(t&63) - 1 // cycles before t are not candidates
+		if comb != ^uint64(0) {
+			return t&^63 + int64(bits.TrailingZeros64(^comb))
+		}
+		t = t&^63 + 64
+	}
+}
+
+// laneWidth..laneMem index a cluster's four bitLanes.
+const (
+	laneWidth = 0
+	laneInt   = 1
+	laneFP    = 2
+	laneMem   = 3
+	lanesPer  = 4
+)

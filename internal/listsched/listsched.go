@@ -25,6 +25,29 @@ import (
 	"clustersim/internal/trace"
 )
 
+// dedupProducers compacts buf to its distinct values in place, preserving
+// first-occurrence order. Producer lists hold at most three entries (two
+// register sources and a forwarding store), so the quadratic scan is a
+// couple of compares. Dependence counting, cross-edge accounting and the
+// consumer edge lists all operate on the deduped list: an instruction
+// reading one remote producer through two operands waits for (and pays
+// for) a single forwarded value, matching the paper's per-value
+// convergence analysis.
+func dedupProducers(buf []int32) []int32 {
+	m := 0
+outer:
+	for _, p := range buf {
+		for j := 0; j < m; j++ {
+			if buf[j] == p {
+				continue outer
+			}
+		}
+		buf[m] = p
+		m++
+	}
+	return buf[:m]
+}
+
 // Input is the trace-derived material the scheduler works from.
 type Input struct {
 	Trace *trace.Trace
@@ -146,9 +169,21 @@ func (l *resourceLane) at(t int64) uint8 {
 	return l.used[t]
 }
 
+// laneChunk is the growth quantum for a lane's occupancy window.
+const laneChunk = 1024
+
 func (l *resourceLane) take(t int64) {
-	for int64(len(l.used)) <= t {
-		l.used = append(l.used, 0)
+	if int64(len(l.used)) <= t {
+		need := int(t) + 1
+		if cap(l.used) >= need {
+			// Lanes only ever grow within a run, so the capacity region
+			// beyond len is still the allocator's zeroes.
+			l.used = l.used[:need]
+		} else {
+			grown := make([]uint8, need, need+laneChunk)
+			copy(grown, l.used)
+			l.used = grown
+		}
 	}
 	l.used[t]++
 }
@@ -244,13 +279,8 @@ func Run(in Input, cfg Config, pri Priority) (*Schedule, error) {
 	}
 	var prodBuf []int32
 	for i := 0; i < n; i++ {
-		prodBuf = tr.Producers(i, prodBuf[:0])
-		seen := int32(trace.None)
+		prodBuf = dedupProducers(tr.Producers(i, prodBuf[:0]))
 		for slot, p := range prodBuf {
-			if p == seen {
-				continue
-			}
-			seen = p
 			pending[i]++
 			e := int32(3*i + slot)
 			if firstEdge[p] == trace.None {
@@ -285,13 +315,8 @@ func Run(in Input, cfg Config, pri Priority) (*Schedule, error) {
 		*h = (*h)[:0]
 		for i := regionStart; i < regionEnd; i++ {
 			pending[i] = 0
-			prodBuf = tr.Producers(i, prodBuf[:0])
-			seen := int32(trace.None)
+			prodBuf = dedupProducers(tr.Producers(i, prodBuf[:0]))
 			for _, p := range prodBuf {
-				if p == seen {
-					continue
-				}
-				seen = p
 				if int(p) >= regionStart {
 					pending[i]++
 				}
@@ -339,8 +364,10 @@ func (s *Schedule) scheduleOne(tr *trace.Trace, in Input, cfg Config, res []clus
 	prodBuf := *prodBufp
 
 	// Operand availability per cluster and the cluster holding the
-	// latest-arriving producer (the locality preference).
-	prodBuf = tr.Producers(i, prodBuf[:0])
+	// latest-arriving producer (the locality preference). The deduped view
+	// keeps the cross-edge accounting per-value: a consumer reading one
+	// remote producer through two operands pays (and counts) one edge.
+	prodBuf = dedupProducers(tr.Producers(i, prodBuf[:0]))
 	var latest int64 = -1
 	latestCluster := -1
 	for _, p := range prodBuf {
@@ -439,39 +466,66 @@ func NewOracle(in Input) *Oracle {
 func (o *Oracle) Key(seq int64, pc uint64) int64 { return o.key[seq] }
 
 // LoCPriority prioritizes by observed likelihood of criticality, with
-// optional stratification (Levels=16 reproduces the paper's 4-bit
-// predictor; Levels=0 keeps unlimited precision). Section 4 uses this to
-// show past criticality is a good stand-in for oracle knowledge.
+// optional stratification (16 levels reproduces the paper's 4-bit
+// predictor; 0 keeps unlimited precision). Section 4 uses this to show
+// past criticality is a good stand-in for oracle knowledge. Construct
+// with NewLoCPriority.
 type LoCPriority struct {
-	Exact  *predictor.Exact
-	Levels int
+	exact *predictor.Exact
+	// m1 and m2 factor the key scale so Key is branch-free while
+	// reproducing the historical rounding bit-exactly: stratified keys
+	// are (frac*(levels-1))*1e6, unlimited keys are (frac*1e9)*1.
+	m1, m2 float64
+}
+
+// NewLoCPriority validates and builds a likelihood-of-criticality
+// priority over the per-PC tracker. levels > 0 stratifies the fraction
+// into that many buckets; levels == 0 keeps unlimited precision.
+func NewLoCPriority(exact *predictor.Exact, levels int) (LoCPriority, error) {
+	if exact == nil {
+		return LoCPriority{}, fmt.Errorf("listsched: LoC priority requires an exact tracker")
+	}
+	if levels < 0 {
+		return LoCPriority{}, fmt.Errorf("listsched: LoC priority levels %d < 0", levels)
+	}
+	if levels > 0 {
+		return LoCPriority{exact: exact, m1: float64(levels - 1), m2: 1e6}, nil
+	}
+	return LoCPriority{exact: exact, m1: 1e9, m2: 1}, nil
 }
 
 // Key implements Priority.
 func (l LoCPriority) Key(seq int64, pc uint64) int64 {
-	f := l.Exact.Frac(pc)
-	if l.Levels > 0 {
-		return int64(f * float64(l.Levels-1) * 1e6)
-	}
-	return int64(f * 1e9)
+	return int64(l.exact.Frac(pc) * l.m1 * l.m2)
 }
 
 // BinaryPriority prioritizes by the binary critical/not-critical
-// classification (the Section 4 comparison point).
+// classification (the Section 4 comparison point). Construct with
+// NewBinaryPriority.
 type BinaryPriority struct {
-	Exact *predictor.Exact
-	// Threshold is the classification frequency (default 1/8, matching
-	// the Fields counter's effective rate).
-	Threshold float64
+	exact *predictor.Exact
+	thr   float64
+}
+
+// NewBinaryPriority validates and builds the binary priority. threshold
+// is the classification frequency in [0,1]; 0 selects the default 1/8,
+// matching the Fields counter's effective rate.
+func NewBinaryPriority(exact *predictor.Exact, threshold float64) (BinaryPriority, error) {
+	if exact == nil {
+		return BinaryPriority{}, fmt.Errorf("listsched: binary priority requires an exact tracker")
+	}
+	if !(threshold >= 0 && threshold <= 1) {
+		return BinaryPriority{}, fmt.Errorf("listsched: binary priority threshold %v outside [0,1]", threshold)
+	}
+	if threshold == 0 {
+		threshold = 1.0 / 8
+	}
+	return BinaryPriority{exact: exact, thr: threshold}, nil
 }
 
 // Key implements Priority.
 func (b BinaryPriority) Key(seq int64, pc uint64) int64 {
-	thr := b.Threshold
-	if thr == 0 {
-		thr = 1.0 / 8
-	}
-	if b.Exact.Frac(pc) >= thr {
+	if b.exact.Frac(pc) >= b.thr {
 		return 1
 	}
 	return 0

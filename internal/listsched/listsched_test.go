@@ -228,7 +228,11 @@ func TestLoCPriorityCloseToOracle(t *testing.T) {
 	for i := 0; i < in.Trace.Len(); i++ {
 		exact.Train(in.Trace.Insts[i].PC, oracle.Key(int64(i), 0) > maxKey/2)
 	}
-	sLoC, err := listsched.Run(in, cfg, listsched.LoCPriority{Exact: exact, Levels: 16})
+	loc16, err := listsched.NewLoCPriority(exact, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLoC, err := listsched.Run(in, cfg, loc16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +249,10 @@ func TestBinaryPriorityKeys(t *testing.T) {
 		exact.Train(0x10, i == 0) // exactly 1/8 critical
 		exact.Train(0x20, false)
 	}
-	b := listsched.BinaryPriority{Exact: exact}
+	b, err := listsched.NewBinaryPriority(exact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.Key(0, 0x10) != 1 {
 		t.Error("1-in-8 critical PC should classify critical")
 	}
@@ -253,6 +260,68 @@ func TestBinaryPriorityKeys(t *testing.T) {
 		t.Error("never-critical PC should classify non-critical")
 	}
 }
+
+func TestPriorityConstructorValidation(t *testing.T) {
+	exact := predictor.NewExact()
+	if _, err := listsched.NewLoCPriority(nil, 16); err == nil {
+		t.Error("accepted nil tracker")
+	}
+	if _, err := listsched.NewLoCPriority(exact, -1); err == nil {
+		t.Error("accepted negative levels")
+	}
+	if _, err := listsched.NewBinaryPriority(nil, 0.5); err == nil {
+		t.Error("accepted nil tracker")
+	}
+	for _, thr := range []float64{-0.1, 1.1} {
+		if _, err := listsched.NewBinaryPriority(exact, thr); err == nil {
+			t.Errorf("accepted threshold %v", thr)
+		}
+	}
+	// Threshold 0 selects the 1/8 default.
+	exact.Train(0x10, true)
+	b, err := listsched.NewBinaryPriority(exact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Key(0, 0x10) != 1 {
+		t.Error("always-critical PC should classify critical under default threshold")
+	}
+}
+
+func TestSameProducerDyadicCountsOnce(t *testing.T) {
+	// Regression for the per-value cross-edge semantics: a dyadic consumer
+	// reading the same remote producer through both operands waits for one
+	// forwarded value and must count one cross edge, not two.
+	insts := []isa.Inst{
+		{PC: 0x0, Op: isa.IntALU, Dst: 1, Src: [2]isa.Reg{isa.NoReg, isa.NoReg}},
+		{PC: 0x4, Op: isa.IntALU, Dst: 2, Src: [2]isa.Reg{1, isa.NoReg}},
+		{PC: 0x8, Op: isa.IntALU, Dst: 3, Src: [2]isa.Reg{1, isa.NoReg}},
+		{PC: 0xc, Op: isa.IntALU, Dst: 4, Src: [2]isa.Reg{1, 1}},
+	}
+	tr := trace.Rebuild(insts)
+	n := tr.Len()
+	in := listsched.Input{Trace: tr, Release: make([]int64, n),
+		Latency: []int64{1, 1, 1, 1}, Mispredicted: make([]bool, n),
+		Complete: make([]int64, n)}
+	cfg := listsched.Config{Clusters: 2, Width: 1, Int: 1, FP: 1, Mem: 1, Fwd: 1}
+	// Keys force the order i0, then both single-source consumers onto the
+	// producer's cluster, leaving the dyadic consumer to go remote.
+	s, err := listsched.Run(in, cfg, keyTable{100, 90, 80, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cluster[3] == s.Cluster[0] {
+		t.Fatalf("dyadic consumer stayed local; test setup no longer forces a cross edge")
+	}
+	if s.CrossEdges != 1 || s.DyadicCross != 1 {
+		t.Errorf("cross=%d dyadic=%d, want 1/1 (per-value accounting)", s.CrossEdges, s.DyadicCross)
+	}
+}
+
+// keyTable is a fixed per-seq priority for hand-built traces.
+type keyTable []int64
+
+func (k keyTable) Key(seq int64, pc uint64) int64 { return k[seq] }
 
 func TestOracleSliceDominatesHeight(t *testing.T) {
 	// A mispredicted branch's slice must outrank even very tall chains.

@@ -92,13 +92,8 @@ func RunReplicated(in Input, cfg Config, pri Priority) (*ReplicatedSchedule, err
 	}
 	var prodBuf, pprodBuf []int32
 	for i := 0; i < n; i++ {
-		prodBuf = tr.Producers(i, prodBuf[:0])
-		seen := int32(trace.None)
+		prodBuf = dedupProducers(tr.Producers(i, prodBuf[:0]))
 		for slot, p := range prodBuf {
-			if p == seen {
-				continue
-			}
-			seen = p
 			e := int32(3*i + slot)
 			if firstEdge[p] == trace.None {
 				firstEdge[p] = e
@@ -124,13 +119,8 @@ func RunReplicated(in Input, cfg Config, pri Priority) (*ReplicatedSchedule, err
 		*h = (*h)[:0]
 		for i := regionStart; i < regionEnd; i++ {
 			pending[i] = 0
-			prodBuf = tr.Producers(i, prodBuf[:0])
-			seen := int32(trace.None)
+			prodBuf = dedupProducers(tr.Producers(i, prodBuf[:0]))
 			for _, p := range prodBuf {
-				if p == seen {
-					continue
-				}
-				seen = p
 				if int(p) >= regionStart {
 					pending[i]++
 				}
@@ -143,7 +133,7 @@ func RunReplicated(in Input, cfg Config, pri Priority) (*ReplicatedSchedule, err
 			it := heap.Pop(h).(readyItem)
 			i := it.seq
 			in0 := &tr.Insts[i]
-			prodBuf = tr.Producers(int(i), prodBuf[:0])
+			prodBuf = dedupProducers(tr.Producers(int(i), prodBuf[:0]))
 
 			// Best placement considering replica-adjusted availability.
 			bestT := int64(1) << 62

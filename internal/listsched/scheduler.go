@@ -1,0 +1,346 @@
+package listsched
+
+import (
+	"fmt"
+	"sync"
+
+	"clustersim/internal/isa"
+)
+
+// Variant is one (config, priority) combination to schedule. The
+// forwarding latency rides in Config.Fwd, so a fwd-latency sweep is just
+// variants whose configs differ in that field.
+type Variant struct {
+	Config Config
+	Pri    Priority
+}
+
+// Scheduler is the pooled, batched fast path for the idealized study.
+// It produces schedules byte-identical to Run (the retained oracle) but
+// builds the dependence CSR, region split and per-region readiness
+// counts once per Input and replays them across every variant, with a
+// flat non-boxing ready heap, priority keys precomputed into an array
+// (one Priority.Key call per instruction instead of one interface call
+// per heap push), and bitmap resource lanes that find the next free
+// issue slot by word scan instead of probing cycle by cycle.
+//
+// Priorities must be pure functions of (seq, pc): keys are evaluated
+// once per instruction per variant, not once per heap push as the
+// oracle does, so a stateful Priority would diverge.
+//
+// Obtain with NewScheduler, return with Recycle; a recycled Scheduler
+// reuses all internal state, so steady-state replays allocate only the
+// returned Schedule arrays.
+type Scheduler struct {
+	// Built once per Input by prepare.
+	n        int
+	prodOff  []int32 // deduped producer CSR: producers of i are prodIdx[prodOff[i]:prodOff[i+1]]
+	prodIdx  []int32
+	consOff  []int32 // reverse (consumer) CSR, each list in ascending consumer order
+	consIdx  []int32
+	regions  []int32 // end index of each scheduling region
+	pendBase []int32 // count of intra-region producers per instruction
+	fu       []uint8 // bitLane index of each instruction's functional unit
+	dyadic   []bool  // NumSrcs() == 2 (the convergent-dataflow indicator)
+
+	// Per-variant replay state.
+	keys    []int64
+	pending []int32
+	heap    schedHeap
+	lanes   []bitLane
+
+	scratch []int32 // producer buffer for trace.Producers
+	deg     []int32 // consumer out-degree / CSR fill cursor
+}
+
+var schedulerPool = sync.Pool{New: func() any { return new(Scheduler) }}
+
+// NewScheduler returns a (possibly recycled) Scheduler.
+func NewScheduler() *Scheduler { return schedulerPool.Get().(*Scheduler) }
+
+// Recycle returns the Scheduler to the pool. The caller must not use s
+// afterwards; Schedules returned earlier remain valid (their arrays are
+// never pooled).
+func (s *Scheduler) Recycle() { schedulerPool.Put(s) }
+
+// ScheduleVariants schedules in once per variant, sharing the dependence
+// build across all of them. Results are positionally aligned with
+// variants and byte-identical to Run(in, v.Config, v.Pri) for each.
+func (s *Scheduler) ScheduleVariants(in Input, variants []Variant) ([]*Schedule, error) {
+	if err := s.prepare(in); err != nil {
+		return nil, err
+	}
+	n := s.n
+	// One backing allocation per array kind; each variant slices a
+	// disjoint full-capacity window, so results stay valid after Recycle.
+	i64 := make([]int64, 2*n*len(variants))
+	i16 := make([]int16, n*len(variants))
+	scheds := make([]Schedule, len(variants))
+	out := make([]*Schedule, len(variants))
+	for j, v := range variants {
+		sc := &scheds[j]
+		sc.Start = i64[2*j*n : (2*j+1)*n : (2*j+1)*n]
+		sc.Complete = i64[(2*j+1)*n : (2*j+2)*n : (2*j+2)*n]
+		sc.Cluster = i16[j*n : (j+1)*n : (j+1)*n]
+		if err := s.replay(in, v.Config, v.Pri, sc); err != nil {
+			return nil, err
+		}
+		out[j] = sc
+	}
+	return out, nil
+}
+
+// Schedule is the single-variant convenience wrapper.
+func (s *Scheduler) Schedule(in Input, cfg Config, pri Priority) (*Schedule, error) {
+	out, err := s.ScheduleVariants(in, []Variant{{Config: cfg, Pri: pri}})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// prepare builds the Input-dependent state: deduped producer CSR, the
+// reverse consumer CSR, the region split, intra-region readiness counts,
+// and per-instruction functional-unit classes.
+func (s *Scheduler) prepare(in Input) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	tr := in.Trace
+	n := tr.Len()
+	s.n = n
+
+	s.prodOff = growI32(s.prodOff, n+1)
+	s.prodIdx = s.prodIdx[:0]
+	s.deg = growI32(s.deg, n)
+	clear(s.deg)
+	s.fu = growU8(s.fu, n)
+	s.dyadic = growBool(s.dyadic, n)
+	for i := 0; i < n; i++ {
+		s.prodOff[i] = int32(len(s.prodIdx))
+		s.scratch = dedupProducers(tr.Producers(i, s.scratch[:0]))
+		for _, p := range s.scratch {
+			s.prodIdx = append(s.prodIdx, p)
+			s.deg[p]++
+		}
+		inst := &tr.Insts[i]
+		s.fu[i] = uint8(fuClass(inst.Op))
+		s.dyadic[i] = inst.NumSrcs() == 2
+	}
+	s.prodOff[n] = int32(len(s.prodIdx))
+
+	// Reverse CSR. Filling by ascending consumer keeps each producer's
+	// consumer list sorted, which the replay relies on to stop early at
+	// the region boundary.
+	s.consOff = growI32(s.consOff, n+1)
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		s.consOff[i] = off
+		off += s.deg[i]
+		s.deg[i] = s.consOff[i] // becomes the fill cursor
+	}
+	s.consOff[n] = off
+	s.consIdx = growI32(s.consIdx, int(off))
+	for c := 0; c < n; c++ {
+		for _, p := range s.prodIdx[s.prodOff[c]:s.prodOff[c+1]] {
+			s.consIdx[s.deg[p]] = int32(c)
+			s.deg[p]++
+		}
+	}
+
+	// Region split and intra-region producer counts. Both depend only on
+	// Mispredicted and the dependence structure, so every variant replays
+	// from the same pendBase.
+	s.regions = s.regions[:0]
+	s.pendBase = growI32(s.pendBase, n)
+	rs := 0
+	for rs < n {
+		re := rs
+		for re < n {
+			re++
+			if in.Mispredicted[re-1] {
+				break
+			}
+		}
+		for i := rs; i < re; i++ {
+			c := int32(0)
+			for _, p := range s.prodIdx[s.prodOff[i]:s.prodOff[i+1]] {
+				if int(p) >= rs {
+					c++
+				}
+			}
+			s.pendBase[i] = c
+		}
+		s.regions = append(s.regions, int32(re))
+		rs = re
+	}
+	return nil
+}
+
+// replay schedules one variant over the prepared state into out.
+func (s *Scheduler) replay(in Input, cfg Config, pri Priority, out *Schedule) error {
+	if cfg.Clusters < 1 || cfg.Width < 1 || cfg.Int < 1 || cfg.FP < 1 || cfg.Mem < 1 || cfg.Fwd < 0 {
+		return fmt.Errorf("listsched: invalid config %+v", cfg)
+	}
+	tr := in.Trace
+	n := s.n
+
+	s.keys = growI64(s.keys, n)
+	for i := 0; i < n; i++ {
+		s.keys[i] = pri.Key(int64(i), tr.Insts[i].PC)
+	}
+	s.pending = growI32(s.pending, n)
+	copy(s.pending, s.pendBase)
+	s.heap.reset()
+
+	need := cfg.Clusters * lanesPer
+	if cap(s.lanes) < need {
+		grown := make([]bitLane, need)
+		copy(grown, s.lanes)
+		s.lanes = grown
+	} else {
+		s.lanes = s.lanes[:need]
+	}
+	caps := [lanesPer]uint8{laneWidth: uint8(cfg.Width), laneInt: uint8(cfg.Int),
+		laneFP: uint8(cfg.FP), laneMem: uint8(cfg.Mem)}
+	for k := 0; k < cfg.Clusters; k++ {
+		for c := 0; c < lanesPer; c++ {
+			s.lanes[k*lanesPer+c].reset(caps[c])
+		}
+	}
+
+	start, complete, cluster := out.Start, out.Complete, out.Cluster
+	fwd := int64(cfg.Fwd)
+	var shift int64
+	scheduled := 0
+	rs := 0
+	for _, re32 := range s.regions {
+		re := int(re32)
+		for i := rs; i < re; i++ {
+			if s.pending[i] == 0 {
+				s.heap.push(heapItem{key: s.keys[i], seq: int32(i)})
+			}
+		}
+		for s.heap.len() > 0 {
+			i := int(s.heap.pop().seq)
+			prods := s.prodIdx[s.prodOff[i]:s.prodOff[i+1]]
+
+			var latest int64 = -1
+			latestCluster := -1
+			for _, p := range prods {
+				if complete[p] > latest {
+					latest = complete[p]
+					latestCluster = int(cluster[p])
+				}
+			}
+
+			bestT := int64(1) << 62
+			bestK := 0
+			width := &s.lanes[laneWidth]
+			fuLane := &s.lanes[int(s.fu[i])]
+			for k := 0; k < cfg.Clusters; k++ {
+				if k > 0 {
+					width = &s.lanes[k*lanesPer+laneWidth]
+					fuLane = &s.lanes[k*lanesPer+int(s.fu[i])]
+				}
+				t := in.Release[i] + shift
+				for _, p := range prods {
+					avail := complete[p]
+					if int(cluster[p]) != k {
+						avail += fwd
+					}
+					if avail > t {
+						t = avail
+					}
+				}
+				t = nextFree(width, fuLane, t)
+				if t < bestT || (t == bestT && k == latestCluster) {
+					bestT = t
+					bestK = k
+				}
+			}
+
+			start[i] = bestT
+			cluster[i] = int16(bestK)
+			complete[i] = bestT + in.Latency[i]
+			s.lanes[bestK*lanesPer+laneWidth].take(bestT)
+			s.lanes[bestK*lanesPer+int(s.fu[i])].take(bestT)
+			if complete[i] > out.Makespan {
+				out.Makespan = complete[i]
+			}
+			for _, p := range prods {
+				if int(cluster[p]) != bestK {
+					out.CrossEdges++
+					if s.dyadic[i] {
+						out.DyadicCross++
+					}
+				}
+			}
+			scheduled++
+
+			for _, c := range s.consIdx[s.consOff[i]:s.consOff[i+1]] {
+				if int(c) >= re {
+					break // sorted: the rest belong to later regions
+				}
+				s.pending[c]--
+				if s.pending[c] == 0 {
+					s.heap.push(heapItem{key: s.keys[c], seq: c})
+				}
+			}
+		}
+		b := re - 1
+		if in.Mispredicted[b] {
+			if excess := complete[b] - (in.Complete[b] + shift); excess > 0 {
+				shift += excess
+			}
+		}
+		rs = re
+	}
+	if scheduled != n {
+		return fmt.Errorf("listsched: scheduled %d of %d (dependence cycle?)", scheduled, n)
+	}
+	return nil
+}
+
+// fuClass maps an op to the bitLane index of its functional-unit class
+// (mirroring clusterRes.fits: anything neither integer nor FP books the
+// memory units).
+func fuClass(op isa.Op) int {
+	switch op.FU() {
+	case isa.FUInt:
+		return laneInt
+	case isa.FUFP:
+		return laneFP
+	default:
+		return laneMem
+	}
+}
+
+// grow helpers: reuse capacity without clearing (callers overwrite).
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
