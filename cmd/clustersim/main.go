@@ -37,18 +37,39 @@
 //	               (fused 16-scenario replay vs per-scenario oracle)
 //	-bench-sched-json f  run the list-scheduler sweep and write f
 //	               (pooled fused ScheduleVariants vs reference Run)
+//
+// Robustness flags (see DESIGN.md "Failure model & recovery"):
+//
+//	-journal f     append completed results to this checkpoint journal
+//	               (default <cache-dir>/journal.wal when -resume is set)
+//	-resume        replay the journal first and recompute only what is
+//	               missing; Ctrl-C + rerun with -resume picks up a sweep
+//	               where it died
+//	-deadline d    cancel the whole run after this duration; completed
+//	               results drain cleanly and the summary still prints
+//	-job-deadline d  count (not kill) simulation jobs exceeding this
+//	               soft per-job deadline in the engine summary
+//	-chaos-seed n  \ deterministic fault injection for testing: inject
+//	-chaos-rate p  / I/O errors, short writes, read latency and worker
+//	               panics at rate p (results must not change — only the
+//	               robustness counters do)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"clustersim/internal/engine"
 	"clustersim/internal/experiments"
+	"clustersim/internal/faultinject"
 	"clustersim/internal/metrics"
 )
 
@@ -65,6 +86,12 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the machine micro-benchmark sweep (wakeup vs oracle scheduler) and write its JSON report here")
 	benchCritJSON := flag.String("bench-crit-json", "", "run the critical-path analysis sweep (fused multi-scenario replay vs per-scenario oracle) and write its JSON report here")
 	benchSchedJSON := flag.String("bench-sched-json", "", "run the list-scheduler sweep (pooled fused ScheduleVariants vs reference Run) and write its JSON report here")
+	journalPath := flag.String("journal", "", "checkpoint journal path (default <cache-dir>/journal.wal when -resume is set)")
+	resume := flag.Bool("resume", false, "replay the checkpoint journal and recompute only missing results")
+	deadline := flag.Duration("deadline", 0, "cancel the whole run after this duration (0: none)")
+	jobDeadline := flag.Duration("job-deadline", 0, "count simulation jobs exceeding this soft deadline (0: none)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "fault-injection seed (testing; used with -chaos-rate)")
+	chaosRate := flag.Float64("chaos-rate", 0, "fault-injection probability per site visit (testing; 0: disabled)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: clustersim [flags] <experiment> ...")
 		fmt.Fprintln(os.Stderr, "experiments: config fig2 fig2-attrib fig4 fig5 fig6 fig8 fig14 fig14-detail fig15 loc-oracle consumers fwd-sweep stall-sweep slack detector-compare window-sweep bandwidth-sweep replication icost group-steer predictor-sweep workloads future-work all")
@@ -72,15 +99,56 @@ func main() {
 	}
 	flag.Parse()
 
+	if *chaosRate > 0 {
+		faultinject.Enable(*chaosSeed, *chaosRate)
+		fmt.Fprintf(os.Stderr, "clustersim: chaos enabled (seed=%d rate=%g) — results are unaffected, only robustness counters\n",
+			*chaosSeed, *chaosRate)
+	} else if faultinject.EnableFromEnv() {
+		fmt.Fprintln(os.Stderr, "clustersim: chaos enabled from CLUSTERSIM_CHAOS_SEED/RATE")
+	}
+
 	reg := metrics.NewRegistry()
 	eng := engine.New(engine.Config{
 		Workers:       *jobs,
 		CacheDir:      *cacheDir,
 		MaxCacheBytes: *cacheMem * (1 << 20),
 		Metrics:       reg,
+		JobDeadline:   *jobDeadline,
 	})
 	if err := eng.Summary().DiskErr; err != nil {
 		fmt.Fprintf(os.Stderr, "clustersim: disk cache disabled: %v\n", err)
+	}
+
+	// Ctrl-C (and -deadline) cancel the run context: in-flight jobs
+	// finish, pending ones fail fast, and the summary still renders so a
+	// -resume rerun knows what survived.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	eng.SetContext(ctx)
+
+	if *resume || *journalPath != "" {
+		path := *journalPath
+		if path == "" {
+			if *cacheDir != "" {
+				path = filepath.Join(*cacheDir, "journal.wal")
+			} else {
+				path = "clustersim.journal"
+			}
+		}
+		restored, err := eng.OpenJournal(path, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim: journal:", err)
+			os.Exit(1)
+		}
+		defer eng.CloseJournal()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "clustersim: resumed %d completed results from %s\n", restored, path)
+		}
 	}
 	if *metricsAddr != "" {
 		addr, err := metrics.Serve(*metricsAddr, reg)
@@ -138,15 +206,31 @@ func main() {
 			"fig8", "fig14", "fig15", "loc-oracle", "consumers", "fwd-sweep", "stall-sweep",
 			"slack", "detector-compare", "window-sweep", "bandwidth-sweep", "replication", "icost", "group-steer", "predictor-sweep", "workloads", "future-work"}
 	}
+	failed := false
 	for _, exp := range args {
 		start := time.Now()
 		if err := run(exp, opts); err != nil {
+			failed = true
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "clustersim: %s: %v\n", exp, err)
+				if eng.JournalPath() != "" {
+					fmt.Fprintln(os.Stderr, "clustersim: completed results are journaled; rerun with -resume to continue")
+				}
+				break
+			}
 			fmt.Fprintf(os.Stderr, "clustersim: %s: %v\n", exp, err)
-			os.Exit(1)
+			break
 		}
 		fmt.Printf("[%s took %.1fs]\n\n", exp, time.Since(start).Seconds())
 	}
 	eng.RenderSummary(os.Stderr)
+	if err := eng.CloseJournal(); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim: journal close:", err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // fig5Cache shares the expensive focused-policy runs between fig5 and

@@ -63,21 +63,29 @@ func (e *Engine) Analysis(key SimKey, run func() (*Artifact, error)) (CritSummar
 	canon := analysisCanon(key)
 	e.mu.Lock()
 	if ent := e.mem.get(canon); ent != nil && ent.crit != nil {
+		fromJournal := ent.journal
 		e.mu.Unlock()
 		e.cAnaHit.Inc()
+		if fromJournal {
+			e.cResumeHit.Inc()
+		}
 		return *ent.crit, nil
 	}
 	e.mu.Unlock()
 
 	v, err := e.doOnce(canon, e.cAnaHit, func() (any, error) {
-		if e.disk != nil {
+		if e.diskAvailable() {
 			if cs, ok := e.disk.loadAnalysis(canon); ok {
 				e.cAnaDiskHit.Inc()
 				e.mu.Lock()
 				e.mem.putAnalysis(canon, cs)
 				e.mu.Unlock()
+				e.journalAnalysis(canon, cs)
 				return cs, nil
 			}
+		}
+		if err := e.ctxErr(); err != nil {
+			return nil, err
 		}
 		e.cAnaMiss.Inc()
 		a, err := e.Sim(key, NeedResult|NeedMachine, run)
@@ -97,11 +105,10 @@ func (e *Engine) Analysis(key SimKey, run func() (*Artifact, error)) (CritSummar
 		e.mu.Lock()
 		e.mem.putAnalysis(canon, cs)
 		e.mu.Unlock()
-		if e.disk != nil {
-			if err := e.disk.storeAnalysis(canon, cs); err != nil {
-				e.cDiskErr.Inc()
-			}
+		if e.diskAvailable() {
+			e.disk.storeAnalysis(canon, cs)
 		}
+		e.journalAnalysis(canon, cs)
 		return cs, nil
 	})
 	if err != nil {

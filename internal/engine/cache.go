@@ -1,16 +1,23 @@
 package engine
 
 import (
-	"bufio"
+	"bytes"
 	"container/list"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"clustersim/internal/faultinject"
 	"clustersim/internal/machine"
+	"clustersim/internal/metrics"
 	"clustersim/internal/trace"
 )
 
@@ -35,6 +42,10 @@ type entry struct {
 	insts int
 	cost  int64
 	elem  *list.Element
+	// journal marks entries restored by journal replay; hits on them
+	// count as resume hits so -resume runs can prove they recomputed
+	// only the missing keys.
+	journal bool
 }
 
 // memCache is a byte-budgeted LRU over traces and simulation artifacts.
@@ -130,12 +141,167 @@ func (c *memCache) len() int { return c.ll.Len() }
 // and exact trackers are never persisted — a disk hit can only satisfy
 // NeedResult.
 //
-// Disk failures are deliberately non-fatal: the cache is an accelerator,
-// so a read or write problem degrades to a miss and is counted, not
-// returned.
+// The disk layer is an accelerator, never a dependency, and every
+// failure mode degrades instead of propagating:
+//
+//   - every entry is CRC32-C framed (see frame.go); an entry that fails
+//     validation — truncated, bit-flipped, foreign, or written by an
+//     older unframed binary — is moved to <dir>/quarantine/ and treated
+//     as a miss, so corruption triggers a recompute, never an error;
+//   - transient read/write errors are retried with capped exponential
+//     backoff and then counted as misses;
+//   - after errorBudget hard failures the layer degrades to memory-only
+//     for the rest of the process with a single stderr notice;
+//   - stale *.tmp files from interrupted writers are swept on open.
 type diskCache struct {
 	dir string
+
+	// Failure accounting, shared with the engine's metrics registry.
+	cErr        *metrics.Counter
+	cRetry      *metrics.Counter
+	cQuarantine *metrics.Counter
+	cSwept      *metrics.Counter
+
+	budget   atomic.Int64
+	degraded atomic.Bool
+	notice   sync.Once
 }
+
+// Disk-failure policy knobs. writeAttempts bounds the retry loop
+// (first try + retries); backoffBase doubles per retry up to backoffCap.
+const (
+	writeAttempts      = 4
+	backoffBase        = 200 * time.Microsecond
+	backoffCap         = 2 * time.Millisecond
+	defaultErrorBudget = 32
+)
+
+// Payload bounds for frame validation: derived summaries are small JSON,
+// traces carry the full binary codec stream.
+const (
+	maxJSONPayload  = 8 << 20
+	maxTracePayload = 1 << 30
+)
+
+func newDiskCache(dir string, met *metrics.Registry, errorBudget int) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Fatal(fmt.Errorf("engine: cache dir: %w", err))
+	}
+	if errorBudget <= 0 {
+		errorBudget = defaultErrorBudget
+	}
+	d := &diskCache{
+		dir:         dir,
+		cErr:        met.Counter("engine.disk.error"),
+		cRetry:      met.Counter("engine.disk.retry"),
+		cQuarantine: met.Counter("engine.disk.quarantine"),
+		cSwept:      met.Counter("engine.disk.tmp_swept"),
+	}
+	d.budget.Store(int64(errorBudget))
+	d.sweepTemps()
+	return d, nil
+}
+
+// sweepTemps removes stale .tmp-* files left by interrupted writers.
+// Writers create temp files and rename them into place, so anything
+// still matching the temp pattern belongs to a dead process.
+func (d *diskCache) sweepTemps() {
+	stale, err := filepath.Glob(filepath.Join(d.dir, ".tmp-*"))
+	if err != nil {
+		return
+	}
+	for _, path := range stale {
+		if os.Remove(path) == nil {
+			d.cSwept.Inc()
+		}
+	}
+}
+
+// available reports whether the disk layer still serves traffic.
+func (d *diskCache) available() bool { return d != nil && !d.degraded.Load() }
+
+// fail records one hard failure (after retries) and degrades the layer
+// when the error budget runs out.
+func (d *diskCache) fail(err error) {
+	d.cErr.Inc()
+	if d.budget.Add(-1) == 0 {
+		d.degraded.Store(true)
+		d.notice.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"engine: disk cache degraded to memory-only after repeated I/O failures (last: %v)\n", err)
+		})
+	}
+}
+
+// quarantine moves a failed-validation entry to <dir>/quarantine/ so it
+// can be inspected post-mortem instead of poisoning every future run.
+// The caller treats the entry as a miss.
+func (d *diskCache) quarantine(path string) {
+	d.cQuarantine.Inc()
+	qdir := filepath.Join(d.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(path)
+		return
+	}
+	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
+		// A second process may have quarantined it first; otherwise just
+		// drop it so the recompute's rewrite starts clean.
+		os.Remove(path)
+	}
+}
+
+// readEntry loads and validates one framed entry. A missing file is a
+// plain miss; an I/O error is transient (counted against the budget); a
+// validation failure quarantines the file. In every case the caller
+// sees only hit-or-miss.
+func (d *diskCache) readEntry(path string, maxLen int) ([]byte, bool) {
+	if !d.available() {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		data, err = faultinject.ReadFault("cache.read", data)
+	}
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false
+		}
+		d.fail(Transient(err))
+		return nil, false
+	}
+	payload, err := decodeFrame(data, maxLen)
+	if err != nil {
+		d.quarantine(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+// writeEntry persists one framed entry with retries and backoff. Write
+// failures never propagate: by the time an entry is written the computed
+// artifact is already in hand, so the worst case is a future miss.
+func (d *diskCache) writeEntry(path string, payload []byte) {
+	if !d.available() {
+		return
+	}
+	framed := encodeFrame(payload)
+	var err error
+	for attempt := 0; attempt < writeAttempts; attempt++ {
+		if attempt > 0 {
+			d.cRetry.Inc()
+			backoff := backoffBase << (attempt - 1)
+			if backoff > backoffCap {
+				backoff = backoffCap
+			}
+			time.Sleep(backoff)
+		}
+		if err = atomicWrite(d.dir, path, framed); err == nil {
+			return
+		}
+	}
+	d.fail(Transient(err))
+}
+
 
 // resultEnvelope is the on-disk simulation-result format. The canonical
 // key is stored alongside the payload and verified on load, guarding
@@ -143,13 +309,6 @@ type diskCache struct {
 type resultEnvelope struct {
 	Key    string
 	Result machine.Result
-}
-
-func newDiskCache(dir string) (*diskCache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("engine: cache dir: %w", err)
-	}
-	return &diskCache{dir: dir}, nil
 }
 
 func (d *diskCache) resultPath(canon string) string {
@@ -173,23 +332,26 @@ func (d *diskCache) analysisPath(canon string) string {
 }
 
 func (d *diskCache) loadAnalysis(canon string) (*CritSummary, bool) {
-	data, err := os.ReadFile(d.analysisPath(canon))
-	if err != nil {
+	path := d.analysisPath(canon)
+	payload, ok := d.readEntry(path, maxJSONPayload)
+	if !ok {
 		return nil, false
 	}
 	var env analysisEnvelope
-	if err := json.Unmarshal(data, &env); err != nil || env.Key != canon {
+	if err := json.Unmarshal(payload, &env); err != nil || env.Key != canon {
+		d.quarantine(path)
 		return nil, false
 	}
 	return &env.Summary, true
 }
 
-func (d *diskCache) storeAnalysis(canon string, cs *CritSummary) error {
-	data, err := json.Marshal(analysisEnvelope{Key: canon, Summary: *cs})
+func (d *diskCache) storeAnalysis(canon string, cs *CritSummary) {
+	payload, err := json.Marshal(analysisEnvelope{Key: canon, Summary: *cs})
 	if err != nil {
-		return err
+		d.fail(Fatal(err))
+		return
 	}
-	return atomicWrite(d.analysisPath(canon), data)
+	d.writeEntry(d.analysisPath(canon), payload)
 }
 
 // schedEnvelope is the on-disk schedule-summary format, keyed and
@@ -205,118 +367,132 @@ func (d *diskCache) schedPath(canon string) string {
 }
 
 func (d *diskCache) loadSched(canon string) (*SchedSummary, bool) {
-	data, err := os.ReadFile(d.schedPath(canon))
-	if err != nil {
+	path := d.schedPath(canon)
+	payload, ok := d.readEntry(path, maxJSONPayload)
+	if !ok {
 		return nil, false
 	}
 	var env schedEnvelope
-	if err := json.Unmarshal(data, &env); err != nil || env.Key != canon {
+	if err := json.Unmarshal(payload, &env); err != nil || env.Key != canon {
+		d.quarantine(path)
 		return nil, false
 	}
 	return &env.Summary, true
 }
 
-func (d *diskCache) storeSched(canon string, ss *SchedSummary) error {
-	data, err := json.Marshal(schedEnvelope{Key: canon, Summary: *ss})
+func (d *diskCache) storeSched(canon string, ss *SchedSummary) {
+	payload, err := json.Marshal(schedEnvelope{Key: canon, Summary: *ss})
 	if err != nil {
-		return err
+		d.fail(Fatal(err))
+		return
 	}
-	return atomicWrite(d.schedPath(canon), data)
+	d.writeEntry(d.schedPath(canon), payload)
 }
 
 func (d *diskCache) loadResult(key SimKey) (machine.Result, bool) {
 	canon := key.String()
-	data, err := os.ReadFile(d.resultPath(canon))
-	if err != nil {
+	path := d.resultPath(canon)
+	payload, ok := d.readEntry(path, maxJSONPayload)
+	if !ok {
 		return machine.Result{}, false
 	}
 	var env resultEnvelope
-	if err := json.Unmarshal(data, &env); err != nil || env.Key != canon {
+	if err := json.Unmarshal(payload, &env); err != nil || env.Key != canon {
+		d.quarantine(path)
 		return machine.Result{}, false
 	}
 	return env.Result, true
 }
 
-func (d *diskCache) storeResult(key SimKey, res machine.Result) error {
+func (d *diskCache) storeResult(key SimKey, res machine.Result) {
 	canon := key.String()
-	data, err := json.Marshal(resultEnvelope{Key: canon, Result: res})
+	payload, err := json.Marshal(resultEnvelope{Key: canon, Result: res})
 	if err != nil {
-		return err
+		d.fail(Fatal(err))
+		return
 	}
-	return atomicWrite(d.resultPath(canon), data)
+	d.writeEntry(d.resultPath(canon), payload)
 }
 
-// Trace files carry a key envelope before the codec stream: a uvarint
-// length plus the canonical key, verified on load like resultEnvelope.Key.
-// (The trace's length cannot be validated against TraceKey.Insts — the
-// generators round the requested count up to block boundaries.)
+// Trace payloads carry a key envelope before the codec stream: a uvarint
+// length plus the canonical key, verified on load like
+// resultEnvelope.Key. (The trace's length cannot be validated against
+// TraceKey.Insts — the generators round the requested count up to block
+// boundaries.) The surrounding frame guards integrity; the key guards
+// identity.
 const maxTraceKeyLen = 4096
 
 func (d *diskCache) loadTrace(key TraceKey) (*trace.Trace, bool) {
 	canon := key.String()
-	f, err := os.Open(d.tracePath(canon))
+	path := d.tracePath(canon)
+	payload, ok := d.readEntry(path, maxTracePayload)
+	if !ok {
+		return nil, false
+	}
+	tr, err := decodeTracePayload(payload, canon)
 	if err != nil {
-		return nil, false
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	n, err := binary.ReadUvarint(br)
-	if err != nil || n > maxTraceKeyLen {
-		return nil, false
-	}
-	got := make([]byte, n)
-	if _, err := io.ReadFull(br, got); err != nil || string(got) != canon {
-		return nil, false
-	}
-	tr, err := trace.Read(br)
-	if err != nil {
+		d.quarantine(path)
 		return nil, false
 	}
 	return tr, true
 }
 
-func (d *diskCache) storeTrace(key TraceKey, tr *trace.Trace) error {
-	canon := key.String()
-	path := d.tracePath(canon)
-	tmp, err := os.CreateTemp(d.dir, ".tmp-trace-*")
-	if err != nil {
-		return err
+// decodeTracePayload parses a frame payload into a trace, verifying the
+// embedded canonical key.
+func decodeTracePayload(payload []byte, canon string) (*trace.Trace, error) {
+	br := bytes.NewReader(payload)
+	n, err := binary.ReadUvarint(br)
+	if err != nil || n > maxTraceKeyLen {
+		return nil, fmt.Errorf("trace key header: %v", err)
 	}
-	defer os.Remove(tmp.Name())
+	got := make([]byte, n)
+	if _, err := io.ReadFull(br, got); err != nil || string(got) != canon {
+		return nil, fmt.Errorf("trace key mismatch")
+	}
+	tr, err := trace.Read(br)
+	if err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (d *diskCache) storeTrace(key TraceKey, tr *trace.Trace) {
+	canon := key.String()
+	var buf bytes.Buffer
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(canon)))
-	if _, err := tmp.Write(hdr[:n]); err != nil {
-		tmp.Close()
-		return err
+	buf.Write(hdr[:n])
+	buf.WriteString(canon)
+	if err := trace.Write(&buf, tr); err != nil {
+		d.fail(Fatal(err))
+		return
 	}
-	if _, err := tmp.Write([]byte(canon)); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := trace.Write(tmp, tr); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	d.writeEntry(d.tracePath(canon), buf.Bytes())
 }
 
 // atomicWrite writes data to path via a temp file and rename, so a
-// crashed run never leaves a torn cache entry.
-func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
+// crashed run never leaves a torn cache entry. Injected write faults may
+// shorten the payload (a "successful" torn write) — the frame's CRC
+// catches it on the next read.
+func atomicWrite(dir, path string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
+	data, err = faultinject.WriteFault("cache.write", data)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := faultinject.Err("cache.rename"); err != nil {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)

@@ -16,13 +16,20 @@
 //
 //  1. an in-memory LRU (byte-budgeted; entries holding live machines are
 //     demoted to result-only stubs under pressure),
-//  2. an optional on-disk cache (traces via the binary codec, results as
-//     JSON) that survives across processes,
+//  2. an optional on-disk cache (traces via the binary trace codec,
+//     results as JSON, every entry CRC-framed; corrupt entries are
+//     quarantined and recomputed, and repeated I/O failures degrade the
+//     layer to memory-only) that survives across processes,
 //  3. a singleflight table so concurrent submissions of one key run the
 //     simulation exactly once.
+//
+// For failure semantics — the Transient/Corrupt/Fatal error taxonomy,
+// fault injection, the resume journal, and cancellation — see
+// DESIGN.md's "Failure model & recovery".
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -31,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clustersim/internal/faultinject"
 	"clustersim/internal/metrics"
 	"clustersim/internal/trace"
 )
@@ -45,6 +53,10 @@ var errNoMachine = errors.New("engine: artifact holds no machine (result-only ca
 // of a full-scale run.
 const DefaultMaxCacheBytes = 1 << 30
 
+// maxInjectedPanicRetries bounds how often Map re-runs a job killed by
+// an injected worker panic before surfacing the (transient) error.
+const maxInjectedPanicRetries = 6
+
 // Config configures an Engine.
 type Config struct {
 	// Workers bounds concurrently executing jobs in Map; <=0 means
@@ -55,6 +67,16 @@ type Config struct {
 	// MaxCacheBytes is the in-memory cache budget; 0 means
 	// DefaultMaxCacheBytes, negative means unlimited.
 	MaxCacheBytes int64
+	// DiskErrorBudget is how many hard disk failures (after retries) the
+	// disk layer tolerates before degrading to memory-only; <=0 means
+	// the default (32).
+	DiskErrorBudget int
+	// JobDeadline, when positive, is the soft per-job deadline: jobs
+	// exceeding it are counted (engine.job.deadline_miss) but their
+	// results stand — simulations cannot be preempted mid-run without
+	// breaking determinism. Whole-run deadlines belong on the context
+	// (SetContext).
+	JobDeadline time.Duration
 	// Metrics receives the engine's counters and timers; a private
 	// registry is created when nil.
 	Metrics *metrics.Registry
@@ -62,15 +84,18 @@ type Config struct {
 
 // Engine executes and memoizes experiment jobs. Safe for concurrent use.
 type Engine struct {
-	workers int
-	met     *metrics.Registry
+	workers     int
+	met         *metrics.Registry
+	jobDeadline time.Duration
 
 	mu       sync.Mutex
 	mem      *memCache
 	inflight map[string]*call
+	ctx      context.Context // nil means never cancelled
 
 	disk    *diskCache
 	diskErr error
+	journal *journal
 
 	cTraceHit, cTraceMiss                *metrics.Counter
 	cSimHit, cSimDiskHit, cSimMiss       *metrics.Counter
@@ -78,6 +103,8 @@ type Engine struct {
 	cSchedHit, cSchedDiskHit, cSchedMiss *metrics.Counter
 	cDiskErr                             *metrics.Counter
 	cInsts                               *metrics.Counter
+	cResumeRestored, cResumeHit          *metrics.Counter
+	cDeadlineMiss                        *metrics.Counter
 	tSim, tTrace, tAna, tSched           *metrics.Timer
 }
 
@@ -105,34 +132,45 @@ func New(cfg Config) *Engine {
 		met = metrics.NewRegistry()
 	}
 	e := &Engine{
-		workers:  workers,
-		met:      met,
-		mem:      newMemCache(maxBytes),
-		inflight: map[string]*call{},
+		workers:     workers,
+		met:         met,
+		jobDeadline: cfg.JobDeadline,
+		mem:         newMemCache(maxBytes),
+		inflight:    map[string]*call{},
 
-		cTraceHit:     met.Counter("engine.trace.hit"),
-		cTraceMiss:    met.Counter("engine.trace.miss"),
-		cSimHit:       met.Counter("engine.sim.hit"),
-		cSimDiskHit:   met.Counter("engine.sim.disk_hit"),
-		cSimMiss:      met.Counter("engine.sim.miss"),
-		cAnaHit:       met.Counter("engine.analysis.hit"),
-		cAnaDiskHit:   met.Counter("engine.analysis.disk_hit"),
-		cAnaMiss:      met.Counter("engine.analysis.miss"),
-		cSchedHit:     met.Counter("engine.sched.hit"),
-		cSchedDiskHit: met.Counter("engine.sched.disk_hit"),
-		cSchedMiss:    met.Counter("engine.sched.miss"),
-		cDiskErr:      met.Counter("engine.disk.error"),
-		cInsts:        met.Counter("engine.sim.insts"),
-		tSim:          met.Timer("engine.sim.run"),
-		tTrace:        met.Timer("engine.trace.gen"),
-		tAna:          met.Timer("engine.analysis.run"),
-		tSched:        met.Timer("engine.sched.run"),
+		cTraceHit:       met.Counter("engine.trace.hit"),
+		cTraceMiss:      met.Counter("engine.trace.miss"),
+		cSimHit:         met.Counter("engine.sim.hit"),
+		cSimDiskHit:     met.Counter("engine.sim.disk_hit"),
+		cSimMiss:        met.Counter("engine.sim.miss"),
+		cAnaHit:         met.Counter("engine.analysis.hit"),
+		cAnaDiskHit:     met.Counter("engine.analysis.disk_hit"),
+		cAnaMiss:        met.Counter("engine.analysis.miss"),
+		cSchedHit:       met.Counter("engine.sched.hit"),
+		cSchedDiskHit:   met.Counter("engine.sched.disk_hit"),
+		cSchedMiss:      met.Counter("engine.sched.miss"),
+		cDiskErr:        met.Counter("engine.disk.error"),
+		cInsts:          met.Counter("engine.sim.insts"),
+		cResumeRestored: met.Counter("engine.resume.restored"),
+		cResumeHit:      met.Counter("engine.resume.hit"),
+		cDeadlineMiss:   met.Counter("engine.job.deadline_miss"),
+		tSim:            met.Timer("engine.sim.run"),
+		tTrace:          met.Timer("engine.trace.gen"),
+		tAna:            met.Timer("engine.analysis.run"),
+		tSched:          met.Timer("engine.sched.run"),
 	}
+	met.Func("engine.faults.injected", func() int64 { return faultinject.Snapshot().Total() })
 	if cfg.CacheDir != "" {
-		e.disk, e.diskErr = newDiskCache(cfg.CacheDir)
+		e.disk, e.diskErr = newDiskCache(cfg.CacheDir, met, cfg.DiskErrorBudget)
 		if e.diskErr != nil {
 			e.cDiskErr.Inc()
 		}
+		met.Func("engine.disk.degraded", func() int64 {
+			if e.disk != nil && e.disk.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 	}
 	return e
 }
@@ -142,6 +180,36 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Metrics returns the engine's registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.met }
+
+// SetContext attaches a run context. Once ctx is cancelled (Ctrl-C, a
+// -deadline expiry) the engine stops starting new work: Map skips
+// pending items, and cache misses fail fast instead of simulating.
+// Completed results remain cached and journaled, so a later -resume run
+// recomputes only what was still missing.
+func (e *Engine) SetContext(ctx context.Context) {
+	e.mu.Lock()
+	e.ctx = ctx
+	e.mu.Unlock()
+}
+
+// ctxErr returns the Fatal-classified context error once the attached
+// context is cancelled, nil otherwise.
+func (e *Engine) ctxErr() error {
+	e.mu.Lock()
+	ctx := e.ctx
+	e.mu.Unlock()
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Fatal(fmt.Errorf("engine: run cancelled: %w", err))
+	}
+	return nil
+}
+
+// diskAvailable reports whether the disk layer exists and has not
+// degraded to memory-only.
+func (e *Engine) diskAvailable() bool { return e.disk.available() }
 
 // Trace returns the trace for key, generating it with gen on a cache
 // miss. Identical keys generate at most once per process (and at most
@@ -157,12 +225,15 @@ func (e *Engine) Trace(key TraceKey, gen func() (*trace.Trace, error)) (*trace.T
 	e.mu.Unlock()
 
 	v, err := e.doOnce(canon, e.cTraceHit, func() (any, error) {
-		if e.disk != nil {
+		if e.diskAvailable() {
 			if tr, ok := e.disk.loadTrace(key); ok {
 				e.cTraceHit.Inc()
 				e.storeTrace(canon, key, tr, false)
 				return tr, nil
 			}
+		}
+		if err := e.ctxErr(); err != nil {
+			return nil, err
 		}
 		e.cTraceMiss.Inc()
 		start := time.Now()
@@ -181,14 +252,14 @@ func (e *Engine) Trace(key TraceKey, gen func() (*trace.Trace, error)) (*trace.T
 }
 
 // storeTrace caches tr in memory and, for fresh generations, on disk.
+// Disk persistence is fire-and-forget: the trace is already in hand, so
+// a write failure is counted inside the disk layer, never returned.
 func (e *Engine) storeTrace(canon string, key TraceKey, tr *trace.Trace, persist bool) {
 	e.mu.Lock()
 	e.mem.putTrace(canon, tr, tr.Len())
 	e.mu.Unlock()
-	if persist && e.disk != nil {
-		if err := e.disk.storeTrace(key, tr); err != nil {
-			e.cDiskErr.Inc()
-		}
+	if persist && e.diskAvailable() {
+		e.disk.storeTrace(key, tr)
 	}
 }
 
@@ -205,26 +276,34 @@ func (e *Engine) Sim(key SimKey, need Need, run func() (*Artifact, error)) (*Art
 	canon := key.String()
 	e.mu.Lock()
 	if ent := e.mem.get(canon); ent != nil && ent.art.satisfies(need) {
+		fromJournal := ent.journal
 		e.mu.Unlock()
 		e.cSimHit.Inc()
+		if fromJournal {
+			e.cResumeHit.Inc()
+		}
 		return ent.art, nil
 	}
 	e.mu.Unlock()
 
 	// A result summary from disk can satisfy pure-result requests
 	// without simulating.
-	if need&^NeedResult == 0 && e.disk != nil {
+	if need&^NeedResult == 0 && e.diskAvailable() {
 		if res, ok := e.disk.loadResult(key); ok {
 			a := resultArtifact(res)
 			e.mu.Lock()
 			e.mem.putSim(canon, a, key.Insts)
 			e.mu.Unlock()
 			e.cSimDiskHit.Inc()
+			e.journalResult(canon, key.Insts, res)
 			return a, nil
 		}
 	}
 
 	v, err := e.doOnce(canon, e.cSimHit, func() (any, error) {
+		if err := e.ctxErr(); err != nil {
+			return nil, err
+		}
 		e.cSimMiss.Inc()
 		start := time.Now()
 		a, err := run()
@@ -236,11 +315,10 @@ func (e *Engine) Sim(key SimKey, need Need, run func() (*Artifact, error)) (*Art
 		e.mu.Lock()
 		e.mem.putSim(canon, a, key.Insts)
 		e.mu.Unlock()
-		if e.disk != nil {
-			if err := e.disk.storeResult(key, a.Res); err != nil {
-				e.cDiskErr.Inc()
-			}
+		if e.diskAvailable() {
+			e.disk.storeResult(key, a.Res)
 		}
+		e.journalResult(canon, key.Insts, a.Res)
 		return a, nil
 	})
 	if err != nil {
@@ -290,6 +368,13 @@ func (e *Engine) doOnce(key string, hitCtr *metrics.Counter, fn func() (any, err
 // keeps draining, so a panic can neither deadlock the dispatch loop nor
 // strand sibling jobs. When multiple items fail, the lowest-indexed
 // error wins (again for determinism).
+//
+// Two robustness behaviors ride on the dispatch loop: once the engine's
+// context is cancelled, not-yet-started items fail fast with the
+// cancellation error while already-running jobs drain (their results are
+// cached and journaled as usual); and a job killed by an injected
+// chaos-test panic is retried in place — injected faults are transient
+// by construction and must never change results.
 func Map[I, O any](e *Engine, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
 	n := len(items)
 	out := make([]O, n)
@@ -312,7 +397,15 @@ func Map[I, O any](e *Engine, items []I, fn func(i int, item I) (O, error)) ([]O
 				if i >= n {
 					return
 				}
+				if err := e.ctxErr(); err != nil {
+					errs[i] = err
+					continue
+				}
+				start := time.Now()
 				errs[i] = mapOne(i, items[i], &out[i], fn)
+				if e.jobDeadline > 0 && time.Since(start) > e.jobDeadline {
+					e.cDeadlineMiss.Inc()
+				}
 			}
 		}()
 	}
@@ -325,13 +418,33 @@ func Map[I, O any](e *Engine, items []I, fn func(i int, item I) (O, error)) ([]O
 	return out, nil
 }
 
-// mapOne runs one item with panic containment.
-func mapOne[I, O any](i int, item I, out *O, fn func(int, I) (O, error)) (err error) {
+// mapOne runs one item with panic containment, retrying jobs that died
+// to an injected chaos panic.
+func mapOne[I, O any](i int, item I, out *O, fn func(int, I) (O, error)) error {
+	for attempt := 0; ; attempt++ {
+		err, injected := runJob(i, item, out, fn)
+		if injected && attempt < maxInjectedPanicRetries {
+			continue
+		}
+		return err
+	}
+}
+
+// runJob executes fn(i, item) once, converting panics to errors. An
+// injected chaos panic is reported separately so mapOne can retry it;
+// genuine panics keep their stack trace.
+func runJob[I, O any](i int, item I, out *O, fn func(int, I) (O, error)) (err error, injected bool) {
 	defer func() {
 		if r := recover(); r != nil {
+			if faultinject.IsInjectedPanic(r) {
+				injected = true
+				err = Transient(fmt.Errorf("engine: job %d: injected worker panic", i))
+				return
+			}
 			err = fmt.Errorf("engine: job %d panicked: %v\n%s", i, r, debug.Stack())
 		}
 	}()
+	faultinject.MaybePanic("engine.worker")
 	*out, err = fn(i, item)
-	return err
+	return err, false
 }

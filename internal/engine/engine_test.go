@@ -267,8 +267,9 @@ func TestDiskTraceRoundTrip(t *testing.T) {
 func TestBadCacheDirNonFatal(t *testing.T) {
 	// A file where the directory should be: MkdirAll fails, the disk
 	// layer is disabled, and the engine still works.
-	dir := t.TempDir() + "/occupied"
-	if err := atomicWrite(dir, []byte("x")); err != nil {
+	parent := t.TempDir()
+	dir := parent + "/occupied"
+	if err := atomicWrite(parent, dir, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	e := New(Config{CacheDir: dir})

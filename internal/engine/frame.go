@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk entries and journal records share one self-validating frame:
+//
+//	magic  uint32 (little endian, "CSF1")
+//	length uint32 (payload bytes)
+//	crc    uint32 (CRC32-C of the payload)
+//	payload
+//
+// A reader can always tell a good frame from a truncated, bit-flipped or
+// foreign file, which is what lets the disk cache turn corruption into a
+// quarantine+miss and lets journal replay stop exactly at a torn tail.
+const (
+	frameMagic  = 0x31465343 // "CSF1" little-endian
+	frameHdrLen = 12
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame-validation failures, all classified ErrCorrupt.
+var (
+	errFrameShort = Corrupt(errors.New("frame truncated"))
+	errFrameMagic = Corrupt(errors.New("bad frame magic"))
+	errFrameLen   = Corrupt(errors.New("frame length out of bounds"))
+	errFrameCRC   = Corrupt(errors.New("frame CRC mismatch"))
+	errFrameSlack = Corrupt(errors.New("trailing bytes after frame"))
+)
+
+// encodeFrame wraps payload in a frame.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, frameHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], frameMagic)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[8:12], crc32.Checksum(payload, crcTable))
+	copy(out[frameHdrLen:], payload)
+	return out
+}
+
+// nextFrame validates and strips one frame from data, returning the
+// payload and the remaining bytes. maxLen bounds the declared payload
+// length so a corrupted header cannot demand an absurd allocation.
+func nextFrame(data []byte, maxLen int) (payload, rest []byte, err error) {
+	if len(data) < frameHdrLen {
+		return nil, nil, errFrameShort
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != frameMagic {
+		return nil, nil, errFrameMagic
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	if n < 0 || n > maxLen {
+		return nil, nil, errFrameLen
+	}
+	if len(data) < frameHdrLen+n {
+		return nil, nil, errFrameShort
+	}
+	payload = data[frameHdrLen : frameHdrLen+n]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[8:12]) {
+		return nil, nil, errFrameCRC
+	}
+	return payload, data[frameHdrLen+n:], nil
+}
+
+// decodeFrame validates data as exactly one frame.
+func decodeFrame(data []byte, maxLen int) ([]byte, error) {
+	payload, rest, err := nextFrame(data, maxLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w (%d bytes)", errFrameSlack, len(rest))
+	}
+	return payload, nil
+}

@@ -1,0 +1,389 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clustersim/internal/faultinject"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+func TestErrorTaxonomy(t *testing.T) {
+	base := errors.New("boom")
+	tr := Transient(base)
+	if !errors.Is(tr, ErrTransient) || !errors.Is(tr, base) {
+		t.Fatalf("Transient lost a sentinel: %v", tr)
+	}
+	if errors.Is(tr, ErrCorrupt) || errors.Is(tr, ErrFatal) {
+		t.Fatalf("Transient matched a foreign class: %v", tr)
+	}
+	// The innermost classification wins across re-wrapping.
+	re := Fatal(tr)
+	if !errors.Is(re, ErrTransient) || errors.Is(re, ErrFatal) {
+		t.Fatalf("re-classification overrode the original class: %v", re)
+	}
+	if Transient(nil) != nil || Corrupt(nil) != nil || Fatal(nil) != nil {
+		t.Fatal("classifying nil must stay nil")
+	}
+	if !errors.Is(Corrupt(base), ErrCorrupt) {
+		t.Fatal("Corrupt sentinel missing")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		framed := encodeFrame(payload)
+		got, err := decodeFrame(framed, 1<<20)
+		if err != nil {
+			t.Fatalf("decode of valid frame failed: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mangled: %q != %q", got, payload)
+		}
+	}
+}
+
+func TestFrameRejectsCorruption(t *testing.T) {
+	framed := encodeFrame([]byte("the payload"))
+	cases := map[string][]byte{
+		"truncated header": framed[:frameHdrLen-1],
+		"truncated body":   framed[:len(framed)-2],
+		"bad magic":        append([]byte{0xFF}, framed[1:]...),
+		"trailing bytes":   append(append([]byte{}, framed...), 1),
+	}
+	flipped := append([]byte{}, framed...)
+	flipped[frameHdrLen+3] ^= 0x40
+	cases["bit flip"] = flipped
+	for name, data := range cases {
+		if _, err := decodeFrame(data, 1<<20); err == nil {
+			t.Errorf("%s: decode accepted corrupt frame", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error not classified Corrupt: %v", name, err)
+		}
+	}
+	// maxLen guards against absurd declared lengths.
+	if _, err := decodeFrame(framed, 4); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized frame not rejected: %v", err)
+	}
+}
+
+// TestStaleTempSweep pins the regression: interrupted writers leave
+// .tmp-* files behind, and a fresh engine must clean them up on open.
+func TestStaleTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		f, err := os.CreateTemp(dir, ".tmp-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString("orphaned partial write")
+		f.Close()
+	}
+	keeper := filepath.Join(dir, "sim-deadbeef.json")
+	os.WriteFile(keeper, []byte("not a temp"), 0o644)
+
+	e := New(Config{CacheDir: dir})
+	if err := e.Summary().DiskErr; err != nil {
+		t.Fatal(err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(left) != 0 {
+		t.Fatalf("%d stale temp files survived engine open", len(left))
+	}
+	if _, err := os.Stat(keeper); err != nil {
+		t.Fatalf("sweep removed a non-temp file: %v", err)
+	}
+	if s := e.Summary(); s.TmpSwept != 3 {
+		t.Errorf("TmpSwept = %d, want 3", s.TmpSwept)
+	}
+}
+
+// corruptOneEntry flips a byte in the middle of every file matching
+// pattern and returns how many files were damaged.
+func corruptOneEntry(t *testing.T, dir, pattern string) int {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no cache entries match %s", pattern)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(paths)
+}
+
+// TestCorruptResultQuarantinedAndRecomputed: a bit-flipped result entry
+// must read as a miss, land in quarantine/, and be transparently
+// recomputed — never surfaced as an error.
+func TestCorruptResultQuarantinedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{CacheDir: dir})
+	a1, err := e1.Sim(testSimKey(1), NeedResult, func() (*Artifact, error) { return runTiny(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := corruptOneEntry(t, dir, "sim-*.json")
+
+	e2 := New(Config{CacheDir: dir})
+	var runs atomic.Int64
+	a2, err := e2.Sim(testSimKey(1), NeedResult, func() (*Artifact, error) {
+		runs.Add(1)
+		return runTiny(1)
+	})
+	if err != nil {
+		t.Fatalf("corruption surfaced as an error: %v", err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("corrupt entry did not force a recompute (runs=%d)", runs.Load())
+	}
+	if a2.Res != a1.Res {
+		t.Fatal("recomputed result differs from original")
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "sim-*.json"))
+	if len(q) != n {
+		t.Fatalf("quarantine holds %d files, want %d", len(q), n)
+	}
+	if s := e2.Summary(); s.Quarantines != int64(n) {
+		t.Errorf("Quarantines = %d, want %d", s.Quarantines, n)
+	}
+	// The recompute rewrote a valid entry: a third engine gets a clean
+	// disk hit.
+	e3 := New(Config{CacheDir: dir})
+	if _, err := e3.Sim(testSimKey(1), NeedResult, func() (*Artifact, error) {
+		t.Error("clean rewritten entry missed")
+		return runTiny(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedTraceQuarantined covers the trace reader against torn
+// writes (the file exists but the frame is cut short).
+func TestTruncatedTraceQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{CacheDir: dir})
+	tr1, err := e1.Trace(testTraceKey(1), func() (*trace.Trace, error) {
+		return workload.Generate("gzip", testInsts, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "trace-*.ctr"))
+	if len(paths) != 1 {
+		t.Fatalf("want 1 trace entry, got %d", len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[0], data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(Config{CacheDir: dir})
+	var gens atomic.Int64
+	tr2, err := e2.Trace(testTraceKey(1), func() (*trace.Trace, error) {
+		gens.Add(1)
+		return workload.Generate("gzip", testInsts, 1)
+	})
+	if err != nil {
+		t.Fatalf("truncated trace surfaced as an error: %v", err)
+	}
+	if gens.Load() != 1 {
+		t.Fatalf("truncated trace did not regenerate (gens=%d)", gens.Load())
+	}
+	if tr2.Len() != tr1.Len() {
+		t.Fatalf("regenerated trace len %d != %d", tr2.Len(), tr1.Len())
+	}
+	if s := e2.Summary(); s.Quarantines != 1 {
+		t.Errorf("Quarantines = %d, want 1", s.Quarantines)
+	}
+}
+
+// TestWriteFaultsNeverFailRuns pins the satellite fix: when the
+// computed artifact is already in hand, disk-write failures are counted,
+// not returned — even at a 100% injected write-fault rate.
+func TestWriteFaultsNeverFailRuns(t *testing.T) {
+	defer faultinject.Disable()
+	dir := t.TempDir()
+	e := New(Config{CacheDir: dir, DiskErrorBudget: 4})
+	faultinject.Enable(1234, 1)
+	a, err := e.Sim(testSimKey(1), NeedResult, func() (*Artifact, error) { return runTiny(1) })
+	faultinject.Disable()
+	if err != nil {
+		t.Fatalf("write faults leaked into the run: %v", err)
+	}
+	if a.Res.Insts == 0 {
+		t.Fatal("run produced no result")
+	}
+	s := e.Summary()
+	if s.DiskErrors == 0 && s.Quarantines == 0 {
+		t.Error("injected write faults left no trace in the counters")
+	}
+}
+
+// TestDegradedModeAfterBudget: sustained write errors exhaust the error
+// budget and flip the disk layer to memory-only; the engine keeps
+// producing correct results.
+func TestDegradedModeAfterBudget(t *testing.T) {
+	defer faultinject.Disable()
+	dir := t.TempDir()
+	e := New(Config{CacheDir: dir, DiskErrorBudget: 2})
+	faultinject.Enable(99, 1)
+	for seed := uint64(1); seed <= 6; seed++ {
+		s := seed
+		if _, err := e.Sim(testSimKey(s), NeedResult, func() (*Artifact, error) { return runTiny(s) }); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+	}
+	faultinject.Disable()
+	s := e.Summary()
+	if !s.DiskDegraded {
+		t.Fatalf("disk layer did not degrade (errors=%d retries=%d)", s.DiskErrors, s.DiskRetries)
+	}
+	if s.DiskRetries == 0 {
+		t.Error("no retries recorded before degrading")
+	}
+	// Degraded means memory-only, not broken: cached entries still hit.
+	var runs atomic.Int64
+	if _, err := e.Sim(testSimKey(1), NeedResult, func() (*Artifact, error) {
+		runs.Add(1)
+		return runTiny(1)
+	}); err != nil || runs.Load() != 0 {
+		t.Fatalf("memory cache broken after degrade: err=%v runs=%d", err, runs.Load())
+	}
+}
+
+// TestContextCancellationDrains: cancelling the run context mid-Map
+// fails pending items fast while completed results stand.
+func TestContextCancellationDrains(t *testing.T) {
+	e := New(Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+	items := make([]int, 8)
+	var ran atomic.Int64
+	_, err := Map(e, items, func(i int, _ int) (int, error) {
+		ran.Add(1)
+		if i == 1 {
+			cancel()
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("cancelled Map returned no error")
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrFatal) {
+		t.Fatalf("cancellation error lost its identity: %v", err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("ran %d items after cancel, want 2", got)
+	}
+	// A cancelled engine also refuses new cache misses...
+	if _, err := e.Sim(testSimKey(1), NeedResult, func() (*Artifact, error) { return runTiny(1) }); err == nil {
+		t.Fatal("Sim miss succeeded under a cancelled context")
+	}
+	// ...until the context is replaced.
+	e.SetContext(context.Background())
+	if _, err := e.Sim(testSimKey(1), NeedResult, func() (*Artifact, error) { return runTiny(1) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectedWorkerPanicRetried: chaos panics inside Map jobs are
+// retried in place and never change results.
+func TestInjectedWorkerPanicRetried(t *testing.T) {
+	defer faultinject.Disable()
+	e := New(Config{Workers: 4})
+	faultinject.Enable(7, 0.3)
+	items := make([]int, 64)
+	out, err := Map(e, items, func(i int, _ int) (int, error) { return i * i, nil })
+	faultinject.Disable()
+	if err != nil {
+		t.Fatalf("Map under injected panics failed: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d after panic retry", i, v)
+		}
+	}
+	if faultinject.Snapshot().Panics == 0 {
+		t.Error("no panics were injected at rate 0.3 over 64 jobs")
+	}
+}
+
+// TestGenuinePanicStillFails: only injected panics are retried; a real
+// bug keeps its stack trace and fails the Map.
+func TestGenuinePanicStillFails(t *testing.T) {
+	e := New(Config{Workers: 2})
+	_, err := Map(e, []int{0}, func(int, int) (int, error) { panic("real bug") })
+	if err == nil || !strings.Contains(err.Error(), "real bug") {
+		t.Fatalf("genuine panic not surfaced: %v", err)
+	}
+}
+
+// TestSoftJobDeadlineCounted: jobs over Config.JobDeadline are counted
+// but their results stand.
+func TestSoftJobDeadlineCounted(t *testing.T) {
+	e := New(Config{Workers: 2, JobDeadline: time.Nanosecond})
+	out, err := Map(e, []int{1, 2}, func(i int, v int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return v, nil
+	})
+	if err != nil || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("soft deadline changed results: %v %v", out, err)
+	}
+	if s := e.Summary(); s.JobDeadlineMisses != 2 {
+		t.Errorf("JobDeadlineMisses = %d, want 2", s.JobDeadlineMisses)
+	}
+}
+
+// TestDiskCorruptAnalysisAndSched covers the two derived-summary
+// readers directly against a scrambled payload behind a valid CRC (the
+// JSON layer must quarantine, not error).
+func TestDiskCorruptAnalysisAndSched(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{CacheDir: dir})
+	d := e.disk
+	d.storeAnalysis("k-ana", &CritSummary{})
+	d.storeSched("k-sched", &SchedSummary{Insts: 1})
+
+	// Valid frames, wrong keys: identity check must quarantine.
+	if _, ok := d.loadAnalysis("other-key"); ok {
+		t.Fatal("analysis served under the wrong key")
+	}
+	if _, ok := d.loadSched("another-key"); ok {
+		t.Fatal("sched served under the wrong key")
+	}
+	// Wrong-key probes hash to different paths, so the stored entries
+	// are untouched; now corrupt the real payloads behind fresh CRCs.
+	for _, canon := range []string{"k-ana"} {
+		path := d.analysisPath(canon)
+		os.WriteFile(path, encodeFrame([]byte("{not json")), 0o644)
+		if _, ok := d.loadAnalysis(canon); ok {
+			t.Fatal("undecodable analysis served")
+		}
+	}
+	path := d.schedPath("k-sched")
+	os.WriteFile(path, encodeFrame([]byte("][")), 0o644)
+	if _, ok := d.loadSched("k-sched"); ok {
+		t.Fatal("undecodable sched served")
+	}
+	if got := d.cQuarantine.Load(); got != 2 {
+		t.Errorf("quarantines = %d, want 2 (undecodable payloads only)", got)
+	}
+}

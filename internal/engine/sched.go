@@ -66,18 +66,23 @@ func (e *Engine) Schedules(keys []SchedKey, compute func(miss []int) ([]SchedSum
 		ent := e.mem.get(canon)
 		if ent != nil && ent.sched != nil {
 			out[i] = *ent.sched
+			fromJournal := ent.journal
 			e.mu.Unlock()
 			e.cSchedHit.Inc()
+			if fromJournal {
+				e.cResumeHit.Inc()
+			}
 			continue
 		}
 		e.mu.Unlock()
-		if e.disk != nil {
+		if e.diskAvailable() {
 			if ss, ok := e.disk.loadSched(canon); ok {
 				out[i] = *ss
 				e.mu.Lock()
 				e.mem.putSched(canon, ss)
 				e.mu.Unlock()
 				e.cSchedDiskHit.Inc()
+				e.journalSched(canon, ss)
 				continue
 			}
 		}
@@ -85,6 +90,9 @@ func (e *Engine) Schedules(keys []SchedKey, compute func(miss []int) ([]SchedSum
 	}
 	if len(miss) == 0 {
 		return out, nil
+	}
+	if err := e.ctxErr(); err != nil {
+		return nil, err
 	}
 	e.cSchedMiss.Add(int64(len(miss)))
 	start := time.Now()
@@ -104,11 +112,10 @@ func (e *Engine) Schedules(keys []SchedKey, compute func(miss []int) ([]SchedSum
 		e.mu.Lock()
 		e.mem.putSched(canon, &ss)
 		e.mu.Unlock()
-		if e.disk != nil {
-			if err := e.disk.storeSched(canon, &ss); err != nil {
-				e.cDiskErr.Inc()
-			}
+		if e.diskAvailable() {
+			e.disk.storeSched(canon, &ss)
 		}
+		e.journalSched(canon, &ss)
 	}
 	return out, nil
 }

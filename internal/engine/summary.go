@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"clustersim/internal/faultinject"
 	"clustersim/internal/stats"
 )
 
@@ -49,6 +50,18 @@ type Summary struct {
 
 	// DiskErr is set when the configured cache directory was unusable.
 	DiskErr error
+
+	// Robustness counters (see DESIGN.md "Failure model & recovery").
+	// FaultsInjected is global across engines (chaos injection is
+	// process-wide); the rest are this engine's.
+	FaultsInjected    int64
+	DiskRetries       int64
+	Quarantines       int64
+	TmpSwept          int64
+	DiskDegraded      bool
+	ResumeRestored    int64
+	ResumeHits        int64
+	JobDeadlineMisses int64
 }
 
 // SimInstsPerSec is the simulated-instruction throughput of executed
@@ -96,6 +109,17 @@ func (e *Engine) Summary() Summary {
 		SchedJobs:     e.tSched.Count(),
 		SchedWallNs:   e.tSched.TotalNs(),
 		DiskErr:       e.diskErr,
+
+		FaultsInjected:    faultinject.Snapshot().Total(),
+		ResumeRestored:    e.cResumeRestored.Load(),
+		ResumeHits:        e.cResumeHit.Load(),
+		JobDeadlineMisses: e.cDeadlineMiss.Load(),
+	}
+	if e.disk != nil {
+		s.DiskRetries = e.disk.cRetry.Load()
+		s.Quarantines = e.disk.cQuarantine.Load()
+		s.TmpSwept = e.disk.cSwept.Load()
+		s.DiskDegraded = e.disk.degraded.Load()
 	}
 	e.mu.Lock()
 	s.CacheBytes = e.mem.bytes
@@ -150,5 +174,22 @@ func (e *Engine) RenderSummary(w io.Writer) {
 		fmt.Fprintf(w, "disk cache disabled: %v\n", s.DiskErr)
 	} else if s.DiskErrors > 0 {
 		fmt.Fprintf(w, "disk cache errors (non-fatal): %d\n", s.DiskErrors)
+	}
+	// Robustness lines appear only when something actually happened, so
+	// a healthy fault-free run's summary is unchanged.
+	if s.FaultsInjected > 0 || s.DiskRetries > 0 || s.Quarantines > 0 || s.TmpSwept > 0 || s.DiskDegraded {
+		fmt.Fprintf(w, "robustness: %d faults injected, %d disk retries, %d entries quarantined, %d stale temps swept",
+			s.FaultsInjected, s.DiskRetries, s.Quarantines, s.TmpSwept)
+		if s.DiskDegraded {
+			fmt.Fprintf(w, "; disk degraded to memory-only")
+		}
+		fmt.Fprintln(w)
+	}
+	if s.ResumeRestored > 0 || s.ResumeHits > 0 {
+		fmt.Fprintf(w, "resume: %d journal records restored, %d served from journal\n",
+			s.ResumeRestored, s.ResumeHits)
+	}
+	if s.JobDeadlineMisses > 0 {
+		fmt.Fprintf(w, "jobs over soft deadline: %d\n", s.JobDeadlineMisses)
 	}
 }

@@ -1,0 +1,166 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+// drainErr collects the fire/no-fire decision sequence of Err at one
+// site under the current configuration.
+func drainErr(site string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = Err(site) != nil
+	}
+	return out
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("enabled after Disable")
+	}
+	if err := Err("x"); err != nil {
+		t.Fatalf("Err fired while disabled: %v", err)
+	}
+	data := []byte("payload")
+	got, err := ReadFault("x", data)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("ReadFault perturbed while disabled: %q %v", got, err)
+	}
+	got, err = WriteFault("x", data)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("WriteFault perturbed while disabled: %q %v", got, err)
+	}
+	MaybePanic("x") // must not panic
+	if c := Snapshot(); c.Total() != 0 {
+		t.Fatalf("counters moved while disabled: %+v", c)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	defer Disable()
+	Enable(42, 0.3)
+	a := drainErr("cache.read", 200)
+	Enable(42, 0.3)
+	b := drainErr("cache.read", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical seeds", i)
+		}
+	}
+	Enable(43, 0.3)
+	c := drainErr("cache.read", 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func TestRateRoughlyHonored(t *testing.T) {
+	defer Disable()
+	Enable(7, 0.25)
+	fired := 0
+	for _, f := range drainErr("rate.site", 4000) {
+		if f {
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("rate 0.25 fired %d/4000 times", fired)
+	}
+	if c := Snapshot(); c.Errs != int64(fired) {
+		t.Fatalf("counter %d != observed %d", c.Errs, fired)
+	}
+}
+
+func TestSitesIndependent(t *testing.T) {
+	defer Disable()
+	Enable(11, 0.5)
+	a := drainErr("site.a", 100)
+	Enable(11, 0.5)
+	// Interleave a second site; site.a's sequence must not shift.
+	b := make([]bool, 100)
+	for i := range b {
+		Err("site.b")
+		b[i] = Err("site.a") != nil
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site.a decision %d shifted when site.b was drawn", i)
+		}
+	}
+}
+
+func TestInjectedErrorsWrapSentinel(t *testing.T) {
+	defer Disable()
+	Enable(1, 1)
+	err := Err("always")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestWriteFaultTruncatesOrErrors(t *testing.T) {
+	defer Disable()
+	Enable(3, 1)
+	data := make([]byte, 64)
+	sawErr, sawTrunc := false, false
+	for i := 0; i < 200 && !(sawErr && sawTrunc); i++ {
+		got, err := WriteFault("w", data)
+		switch {
+		case err != nil:
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write fault error not ErrInjected: %v", err)
+			}
+			sawErr = true
+		case len(got) < len(data):
+			sawTrunc = true
+		case len(got) != len(data):
+			t.Fatalf("write fault grew payload to %d", len(got))
+		}
+	}
+	if !sawErr || !sawTrunc {
+		t.Fatalf("rate-1 write faults never produced err=%v trunc=%v", sawErr, sawTrunc)
+	}
+}
+
+func TestMaybePanicIsIdentifiable(t *testing.T) {
+	defer Disable()
+	Enable(9, 1)
+	defer func() {
+		r := recover()
+		if r == nil || !IsInjectedPanic(r) {
+			t.Fatalf("recovered %v, want InjectedPanic", r)
+		}
+		if IsInjectedPanic("unrelated") {
+			t.Fatal("IsInjectedPanic matched a non-injected value")
+		}
+	}()
+	MaybePanic("p")
+	t.Fatal("MaybePanic did not panic at rate 1")
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	defer Disable()
+	t.Setenv("CLUSTERSIM_CHAOS_SEED", "")
+	t.Setenv("CLUSTERSIM_CHAOS_RATE", "")
+	if EnableFromEnv() {
+		t.Fatal("enabled with empty env")
+	}
+	t.Setenv("CLUSTERSIM_CHAOS_SEED", "5")
+	t.Setenv("CLUSTERSIM_CHAOS_RATE", "0.5")
+	if !EnableFromEnv() || !Enabled() {
+		t.Fatal("did not enable from valid env")
+	}
+	t.Setenv("CLUSTERSIM_CHAOS_RATE", "bogus")
+	if EnableFromEnv() {
+		t.Fatal("enabled from unparsable rate")
+	}
+}

@@ -62,12 +62,13 @@ func (t *Timer) Mean() time.Duration {
 	return time.Duration(t.ns.Load() / n)
 }
 
-// Registry is a namespace of counters and timers. The zero value is not
-// usable; call NewRegistry.
+// Registry is a namespace of counters, timers and gauge callbacks. The
+// zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
+	funcs    map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
@@ -75,6 +76,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		timers:   map[string]*Timer{},
+		funcs:    map[string]func() int64{},
 	}
 }
 
@@ -102,18 +104,33 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Func registers a named gauge callback sampled at Snapshot time —
+// state that lives outside the registry (a degraded-mode flag, a
+// package-level fault counter) shows up on /metrics without the owner
+// having to push updates. Re-registering a name replaces the callback.
+// fn must be safe for concurrent use and must not call back into the
+// registry.
+func (r *Registry) Func(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
 // Snapshot returns a point-in-time view of every metric. Timers expand
-// to "<name>.ns" and "<name>.count" entries.
+// to "<name>.ns" and "<name>.count" entries; Func gauges are sampled.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters)+2*len(r.timers))
+	out := make(map[string]int64, len(r.counters)+2*len(r.timers)+len(r.funcs))
 	for name, c := range r.counters {
 		out[name] = c.Load()
 	}
 	for name, t := range r.timers {
 		out[name+".ns"] = t.TotalNs()
 		out[name+".count"] = t.Count()
+	}
+	for name, fn := range r.funcs {
+		out[name] = fn()
 	}
 	return out
 }

@@ -113,3 +113,23 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Errorf("pprof status = %d", resp2.StatusCode)
 	}
 }
+
+func TestFuncGauge(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.Func("engine.disk.degraded", func() int64 { return v })
+	if got := r.Snapshot()["engine.disk.degraded"]; got != 7 {
+		t.Fatalf("func gauge = %d, want 7", got)
+	}
+	v = 9
+	if got := r.Snapshot()["engine.disk.degraded"]; got != 9 {
+		t.Fatalf("func gauge not resampled: %d, want 9", got)
+	}
+	// Re-registration replaces the callback.
+	r.Func("engine.disk.degraded", func() int64 { return 1 })
+	var buf strings.Builder
+	r.WriteText(&buf)
+	if !strings.Contains(buf.String(), "engine.disk.degraded 1") {
+		t.Fatalf("WriteText missing func gauge:\n%s", buf.String())
+	}
+}
