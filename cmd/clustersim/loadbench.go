@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/metrics"
+	"clustersim/internal/server"
+	"clustersim/internal/server/loadgen"
+)
+
+// loadbenchReport is the BENCH_serve.json shape: the bench configuration
+// plus one loadgen report per phase (cold cache, then warm cache against
+// the same server).
+type loadbenchReport struct {
+	Config struct {
+		Clients       int      `json:"clients"`
+		JobsPerClient int      `json:"jobs_per_client"`
+		DurationSecs  float64  `json:"duration_secs,omitempty"`
+		Insts         int      `json:"insts"`
+		Benchmarks    []string `json:"benchmarks"`
+		Seeds         int      `json:"seeds"`
+		UniqueSpecs   int      `json:"unique_specs"`
+		Tenants       int      `json:"tenants"`
+		Runners       int      `json:"runners"`
+		Queue         int      `json:"queue"`
+		GOMAXPROCS    int      `json:"gomaxprocs"`
+	} `json:"config"`
+	Cold loadgen.Report `json:"cold"`
+	Warm loadgen.Report `json:"warm"`
+}
+
+// loadbenchMain runs `clustersim loadbench`: it stands up an in-process
+// serve instance (or targets -addr), pre-computes every mix spec's
+// expected output locally, then replays the mix from -clients concurrent
+// synthetic clients twice — once against a cold cache, once warm — and
+// writes the latency/throughput/divergence report to -json. A non-zero
+// divergence count is a failure: the served bytes must match local runs.
+func loadbenchMain(args []string) int {
+	fs := flag.NewFlagSet("loadbench", flag.ExitOnError)
+	clients := fs.Int("clients", 1000, "concurrent synthetic clients")
+	jobsPer := fs.Int("jobs", 3, "jobs per client per phase (ignored with -duration)")
+	duration := fs.Duration("duration", 0, "time-box each phase instead of counting jobs")
+	insts := fs.Int("n", 6_000, "instructions per benchmark in the mix")
+	benchmarks := fs.String("benchmarks", "gzip,mcf", "comma-separated benchmark subset for the mix")
+	seeds := fs.Int("seeds", 4, "distinct workload seeds in the mix (unique specs = 3 x seeds)")
+	tenantsN := fs.Int("tenants", 8, "synthetic tenant count (weights cycle 1,2,3)")
+	runners := fs.Int("runners", 0, "server job executors (0: GOMAXPROCS)")
+	queueMax := fs.Int("queue", 1024, "server queue bound")
+	seed := fs.Uint64("seed", 1, "load-mix seed")
+	addrFlag := fs.String("addr", "", "benchmark an already-running server at this base URL instead of in-process")
+	jsonOut := fs.String("json", "BENCH_serve.json", "write the report here")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: clustersim loadbench [flags]")
+		fmt.Fprintln(os.Stderr, "replays a sweep mix from concurrent synthetic clients and reports latency, throughput and divergence")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	benchList := strings.Split(*benchmarks, ",")
+
+	// The mix: per seed, a fig2-only, a fig4-only, and a combined job —
+	// overlapping specs so the shared cache and singleflight matter.
+	var mix []server.Spec
+	for s := 1; s <= *seeds; s++ {
+		for _, exps := range [][]string{{"fig2"}, {"fig4"}, {"fig2", "fig4"}} {
+			mix = append(mix, server.Spec{
+				Experiments: exps,
+				Benchmarks:  benchList,
+				Insts:       *insts,
+				Seed:        uint64(s),
+			})
+		}
+	}
+
+	// Expected outputs, computed locally on an engine the server never
+	// sees: the divergence check compares served bytes against these.
+	fmt.Fprintf(os.Stderr, "clustersim loadbench: pre-computing %d unique specs locally\n", len(mix))
+	localEng := engine.New(engine.Config{Workers: runtime.GOMAXPROCS(0)})
+	expected := map[string][]server.ResultArtifact{}
+	for _, sp := range mix {
+		if _, ok := expected[sp.Key()]; ok {
+			continue
+		}
+		arts, err := server.RunLocal(sp, localEng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
+			return 1
+		}
+		expected[sp.Key()] = arts
+	}
+
+	tenants := map[string]float64{}
+	var tenantNames []string
+	for i := 0; i < *tenantsN; i++ {
+		name := fmt.Sprintf("tenant-%02d", i)
+		tenants[name] = float64(1 + i%3)
+		tenantNames = append(tenantNames, name)
+	}
+
+	baseURL := *addrFlag
+	if baseURL == "" {
+		reg := metrics.NewRegistry()
+		eng := engine.New(engine.Config{Workers: runtime.GOMAXPROCS(0), Metrics: reg})
+		srv, err := server.New(server.Config{
+			Engine:   eng,
+			Metrics:  reg,
+			Tenants:  tenants,
+			MaxQueue: *queueMax,
+			Runners:  *runners,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
+			return 1
+		}
+		srv.Start()
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
+			return 1
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "clustersim loadbench: in-process server on %s\n", baseURL)
+	}
+
+	runPhase := func(name string) (loadgen.Report, bool) {
+		fmt.Fprintf(os.Stderr, "clustersim loadbench: %s phase — %d clients\n", name, *clients)
+		rep, err := loadgen.Run(loadgen.Config{
+			BaseURL:       baseURL,
+			Clients:       *clients,
+			JobsPerClient: *jobsPer,
+			Duration:      *duration,
+			Tenants:       tenantNames,
+			Specs:         mix,
+			Seed:          *seed,
+			Expected:      expected,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
+			return rep, false
+		}
+		fmt.Fprintf(os.Stderr, "  %s: %d jobs in %.1fs (%.1f jobs/s), p50 %.1fms p99 %.1fms, %d errors, %d rejected, %d diverged, sim hit rate %.3f\n",
+			name, rep.Jobs, rep.WallSeconds, rep.JobsPerSec, rep.P50Ms, rep.P99Ms,
+			rep.Errors, rep.Rejected429, rep.Divergence, rep.SimHitRate)
+		return rep, true
+	}
+
+	var out loadbenchReport
+	out.Config.Clients = *clients
+	out.Config.JobsPerClient = *jobsPer
+	if *duration > 0 {
+		out.Config.DurationSecs = duration.Seconds()
+	}
+	out.Config.Insts = *insts
+	out.Config.Benchmarks = benchList
+	out.Config.Seeds = *seeds
+	out.Config.UniqueSpecs = len(expected)
+	out.Config.Tenants = *tenantsN
+	out.Config.Runners = *runners
+	out.Config.Queue = *queueMax
+	out.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	var ok bool
+	if out.Cold, ok = runPhase("cold"); !ok {
+		return 1
+	}
+	// Brief settle so the warm phase's stats delta starts clean.
+	time.Sleep(100 * time.Millisecond)
+	if out.Warm, ok = runPhase("warm"); !ok {
+		return 1
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
+		return 1
+	}
+	if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "clustersim loadbench: wrote %s\n", *jsonOut)
+
+	if out.Cold.Divergence+out.Warm.Divergence > 0 {
+		fmt.Fprintf(os.Stderr, "clustersim loadbench: FAIL — %d served results diverged from local runs\n",
+			out.Cold.Divergence+out.Warm.Divergence)
+		return 1
+	}
+	if out.Cold.Errors+out.Warm.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "clustersim loadbench: FAIL — %d client errors\n", out.Cold.Errors+out.Warm.Errors)
+		return 1
+	}
+	return 0
+}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	clustersim [flags] <experiment> [<experiment> ...]
+//	clustersim serve [flags]      multi-tenant HTTP job API (see internal/server)
+//	clustersim loadbench [flags]  load-test the serve path and write BENCH_serve.json
 //
 // Experiments:
 //
@@ -74,6 +76,16 @@ import (
 )
 
 func main() {
+	// Subcommands dispatch before the experiment flags parse.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(serveMain(os.Args[2:]))
+		case "loadbench":
+			os.Exit(loadbenchMain(os.Args[2:]))
+		}
+	}
+
 	n := flag.Int("n", 200_000, "instructions per benchmark")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	fwd := flag.Int("fwd", 2, "inter-cluster forwarding latency (cycles)")

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/metrics"
+	"clustersim/internal/server"
+)
+
+// serveMain runs `clustersim serve`: the multi-tenant simulation service
+// (see internal/server). One shared engine backs every tenant, so
+// identical work submitted by different tenants caches and deduplicates
+// across the fleet.
+func serveMain(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "engine worker-pool size")
+	cacheDir := fs.String("cache-dir", "", "on-disk cache directory (empty: memory only)")
+	cacheMem := fs.Int64("cache-mem", engine.DefaultMaxCacheBytes>>20, "in-memory cache budget in MiB (<0: unlimited)")
+	tenantsFlag := fs.String("tenants", "", `tenant fair-share weights as "name:weight,name:weight" (empty: single "default" tenant)`)
+	queueMax := fs.Int("queue", 256, "max queued jobs before submissions get 429")
+	runners := fs.Int("runners", 0, "concurrent job executors (0: GOMAXPROCS)")
+	maxInsts := fs.Int("max-insts", 2_000_000, "per-benchmark instruction cap on submitted specs")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: clustersim serve [flags]")
+		fmt.Fprintln(os.Stderr, "serves the multi-tenant job API (see internal/server for endpoints)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	tenants, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim serve:", err)
+		return 2
+	}
+
+	reg := metrics.NewRegistry()
+	eng := engine.New(engine.Config{
+		Workers:       *jobs,
+		CacheDir:      *cacheDir,
+		MaxCacheBytes: *cacheMem * (1 << 20),
+		Metrics:       reg,
+	})
+	if err := eng.Summary().DiskErr; err != nil {
+		fmt.Fprintf(os.Stderr, "clustersim serve: disk cache disabled: %v\n", err)
+	}
+	srv, err := server.New(server.Config{
+		Engine:   eng,
+		Metrics:  reg,
+		Tenants:  tenants,
+		MaxQueue: *queueMax,
+		Runners:  *runners,
+		MaxInsts: *maxInsts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim serve:", err)
+		return 1
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim serve:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "clustersim serve: listening on http://%s (POST /v1/jobs; /metrics; /v1/stats)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "clustersim serve: shutting down")
+		hs.Shutdown(context.Background())
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "clustersim serve:", err)
+		return 1
+	}
+	srv.Close()
+	eng.RenderSummary(os.Stderr)
+	return 0
+}
+
+// parseTenants parses "name:weight,name:weight" (weight optional,
+// default 1).
+func parseTenants(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	tenants := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, weightStr, hasWeight := strings.Cut(strings.TrimSpace(part), ":")
+		if name == "" {
+			return nil, fmt.Errorf("empty tenant name in -tenants %q", s)
+		}
+		weight := 1.0
+		if hasWeight {
+			var err error
+			weight, err = strconv.ParseFloat(weightStr, 64)
+			if err != nil || weight <= 0 {
+				return nil, fmt.Errorf("bad weight %q for tenant %q", weightStr, name)
+			}
+		}
+		tenants[name] = weight
+	}
+	return tenants, nil
+}

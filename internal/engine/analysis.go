@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,7 +61,32 @@ func analysisCanon(key SimKey) string {
 // The analysis is a value: unlike Artifact.Analysis, a cached CritSummary
 // never pins the machine's event log in memory.
 func (e *Engine) Analysis(key SimKey, run func() (*Artifact, error)) (CritSummary, error) {
+	return e.AnalysisCtx(nil, key, run)
+}
+
+// AnalysisCtx is Analysis with a per-submission context: once ctx is
+// cancelled this submission's misses fail fast without simulating or
+// analyzing, while other submissions of the same engine are untouched. A
+// nil ctx means no per-submission cancellation (the engine-wide
+// SetContext still applies).
+func (e *Engine) AnalysisCtx(ctx context.Context, key SimKey, run func() (*Artifact, error)) (CritSummary, error) {
 	canon := analysisCanon(key)
+	for attempt := 0; ; attempt++ {
+		cs, err := e.analysisOnce(ctx, canon, key, run)
+		if err != nil {
+			// A cancellation inherited from a foreign singleflight leader
+			// must not fail this live submission (see SimCtx).
+			if isCancellation(err) && e.checkCtx(ctx) == nil && attempt < maxForeignCancelRetries {
+				continue
+			}
+			return CritSummary{}, err
+		}
+		return cs, nil
+	}
+}
+
+// analysisOnce is one lookup-or-compute attempt of AnalysisCtx.
+func (e *Engine) analysisOnce(ctx context.Context, canon string, key SimKey, run func() (*Artifact, error)) (CritSummary, error) {
 	e.mu.Lock()
 	if ent := e.mem.get(canon); ent != nil && ent.crit != nil {
 		fromJournal := ent.journal
@@ -84,11 +110,11 @@ func (e *Engine) Analysis(key SimKey, run func() (*Artifact, error)) (CritSummar
 				return cs, nil
 			}
 		}
-		if err := e.ctxErr(); err != nil {
+		if err := e.checkCtx(ctx); err != nil {
 			return nil, err
 		}
 		e.cAnaMiss.Inc()
-		a, err := e.Sim(key, NeedResult|NeedMachine, run)
+		a, err := e.SimCtx(ctx, key, NeedResult|NeedMachine, run)
 		if err != nil {
 			return nil, err
 		}

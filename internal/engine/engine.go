@@ -181,31 +181,57 @@ func (e *Engine) Workers() int { return e.workers }
 // Metrics returns the engine's registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.met }
 
-// SetContext attaches a run context. Once ctx is cancelled (Ctrl-C, a
-// -deadline expiry) the engine stops starting new work: Map skips
-// pending items, and cache misses fail fast instead of simulating.
+// SetContext attaches the engine-wide run context. Once ctx is cancelled
+// (Ctrl-C, a -deadline expiry) the engine stops starting new work: Map
+// skips pending items, and cache misses fail fast instead of simulating.
 // Completed results remain cached and journaled, so a later -resume run
 // recomputes only what was still missing.
+//
+// SetContext governs the whole engine: every submission from every
+// caller observes it. Work that has its own lifetime — one tenant's job
+// on a shared server engine — must NOT route its cancellation through
+// SetContext (concurrent jobs would overwrite each other's contexts, and
+// cancelling one would kill the others' pending work). Use the *Ctx
+// submission variants (TraceCtx, SimCtx, AnalysisCtx, SchedulesCtx,
+// MapCtx) instead: their per-submission context composes with the
+// engine-wide one, and cancelling it fails only that submission.
 func (e *Engine) SetContext(ctx context.Context) {
 	e.mu.Lock()
 	e.ctx = ctx
 	e.mu.Unlock()
 }
 
-// ctxErr returns the Fatal-classified context error once the attached
-// context is cancelled, nil otherwise.
-func (e *Engine) ctxErr() error {
+// checkCtx returns a Fatal-classified cancellation error once either the
+// per-submission context (nil means none) or the engine-wide context
+// from SetContext is cancelled, nil otherwise.
+func (e *Engine) checkCtx(ctx context.Context) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Fatal(fmt.Errorf("engine: job cancelled: %w", err))
+		}
+	}
 	e.mu.Lock()
-	ctx := e.ctx
+	ectx := e.ctx
 	e.mu.Unlock()
-	if ctx == nil {
+	if ectx == nil {
 		return nil
 	}
-	if err := ctx.Err(); err != nil {
+	if err := ectx.Err(); err != nil {
 		return Fatal(fmt.Errorf("engine: run cancelled: %w", err))
 	}
 	return nil
 }
+
+// isCancellation reports whether err stems from a cancelled or expired
+// context (either the submission's own or a singleflight leader's).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// maxForeignCancelRetries bounds how often a live submission re-runs a
+// key after sharing a singleflight with a leader that was cancelled by
+// its own (foreign) context.
+const maxForeignCancelRetries = 16
 
 // diskAvailable reports whether the disk layer exists and has not
 // degraded to memory-only.
@@ -215,40 +241,56 @@ func (e *Engine) diskAvailable() bool { return e.disk.available() }
 // miss. Identical keys generate at most once per process (and at most
 // once per CacheDir across processes).
 func (e *Engine) Trace(key TraceKey, gen func() (*trace.Trace, error)) (*trace.Trace, error) {
-	canon := key.String()
-	e.mu.Lock()
-	if ent := e.mem.get(canon); ent != nil {
-		e.mu.Unlock()
-		e.cTraceHit.Inc()
-		return ent.tr, nil
-	}
-	e.mu.Unlock()
+	return e.TraceCtx(nil, key, gen)
+}
 
-	v, err := e.doOnce(canon, e.cTraceHit, func() (any, error) {
-		if e.diskAvailable() {
-			if tr, ok := e.disk.loadTrace(key); ok {
-				e.cTraceHit.Inc()
-				e.storeTrace(canon, key, tr, false)
-				return tr, nil
+// TraceCtx is Trace with a per-submission context: once ctx is cancelled
+// this submission's misses fail fast without generating, while other
+// submissions of the same engine are untouched. A nil ctx means no
+// per-submission cancellation (the engine-wide SetContext still applies).
+func (e *Engine) TraceCtx(ctx context.Context, key TraceKey, gen func() (*trace.Trace, error)) (*trace.Trace, error) {
+	canon := key.String()
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		if ent := e.mem.get(canon); ent != nil {
+			e.mu.Unlock()
+			e.cTraceHit.Inc()
+			return ent.tr, nil
+		}
+		e.mu.Unlock()
+
+		v, err := e.doOnce(canon, e.cTraceHit, func() (any, error) {
+			if e.diskAvailable() {
+				if tr, ok := e.disk.loadTrace(key); ok {
+					e.cTraceHit.Inc()
+					e.storeTrace(canon, key, tr, false)
+					return tr, nil
+				}
 			}
-		}
-		if err := e.ctxErr(); err != nil {
-			return nil, err
-		}
-		e.cTraceMiss.Inc()
-		start := time.Now()
-		tr, err := gen()
+			if err := e.checkCtx(ctx); err != nil {
+				return nil, err
+			}
+			e.cTraceMiss.Inc()
+			start := time.Now()
+			tr, err := gen()
+			if err != nil {
+				return nil, err
+			}
+			e.tTrace.Observe(time.Since(start))
+			e.storeTrace(canon, key, tr, true)
+			return tr, nil
+		})
 		if err != nil {
+			// A cancellation surfaced by a shared singleflight whose leader
+			// was cancelled by its own context is not ours: retry while our
+			// context (and the engine's) is still live.
+			if isCancellation(err) && e.checkCtx(ctx) == nil && attempt < maxForeignCancelRetries {
+				continue
+			}
 			return nil, err
 		}
-		e.tTrace.Observe(time.Since(start))
-		e.storeTrace(canon, key, tr, true)
-		return tr, nil
-	})
-	if err != nil {
-		return nil, err
+		return v.(*trace.Trace), nil
 	}
-	return v.(*trace.Trace), nil
 }
 
 // storeTrace caches tr in memory and, for fresh generations, on disk.
@@ -270,68 +312,87 @@ func (e *Engine) storeTrace(canon string, key TraceKey, tr *trace.Trace, persist
 // Concurrent submissions of one key — e.g. two figure drivers sharing a
 // focused-stack run — simulate once and share the artifact.
 func (e *Engine) Sim(key SimKey, need Need, run func() (*Artifact, error)) (*Artifact, error) {
+	return e.SimCtx(nil, key, need, run)
+}
+
+// SimCtx is Sim with a per-submission context: once ctx is cancelled this
+// submission's misses fail fast without simulating, while concurrent
+// submissions of the same engine (other tenants' jobs on a shared server
+// engine) are untouched. A nil ctx means no per-submission cancellation
+// (the engine-wide SetContext still applies).
+func (e *Engine) SimCtx(ctx context.Context, key SimKey, need Need, run func() (*Artifact, error)) (*Artifact, error) {
 	if need&NeedExact != 0 && !key.TrackExact {
 		return nil, fmt.Errorf("engine: %s requested for key without TrackExact (%s)", need, key)
 	}
 	canon := key.String()
-	e.mu.Lock()
-	if ent := e.mem.get(canon); ent != nil && ent.art.satisfies(need) {
-		fromJournal := ent.journal
-		e.mu.Unlock()
-		e.cSimHit.Inc()
-		if fromJournal {
-			e.cResumeHit.Inc()
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		if ent := e.mem.get(canon); ent != nil && ent.art.satisfies(need) {
+			fromJournal := ent.journal
+			e.mu.Unlock()
+			e.cSimHit.Inc()
+			if fromJournal {
+				e.cResumeHit.Inc()
+			}
+			return ent.art, nil
 		}
-		return ent.art, nil
-	}
-	e.mu.Unlock()
+		e.mu.Unlock()
 
-	// A result summary from disk can satisfy pure-result requests
-	// without simulating.
-	if need&^NeedResult == 0 && e.diskAvailable() {
-		if res, ok := e.disk.loadResult(key); ok {
-			a := resultArtifact(res)
+		// A result summary from disk can satisfy pure-result requests
+		// without simulating.
+		if need&^NeedResult == 0 && e.diskAvailable() {
+			if res, ok := e.disk.loadResult(key); ok {
+				a := resultArtifact(res)
+				e.mu.Lock()
+				e.mem.putSim(canon, a, key.Insts)
+				e.mu.Unlock()
+				e.cSimDiskHit.Inc()
+				e.journalResult(canon, key.Insts, res)
+				return a, nil
+			}
+		}
+
+		v, err := e.doOnce(canon, e.cSimHit, func() (any, error) {
+			if err := e.checkCtx(ctx); err != nil {
+				return nil, err
+			}
+			e.cSimMiss.Inc()
+			start := time.Now()
+			a, err := run()
+			if err != nil {
+				return nil, err
+			}
+			e.tSim.Observe(time.Since(start))
+			e.cInsts.Add(a.Res.Insts)
 			e.mu.Lock()
 			e.mem.putSim(canon, a, key.Insts)
 			e.mu.Unlock()
-			e.cSimDiskHit.Inc()
-			e.journalResult(canon, key.Insts, res)
+			if e.diskAvailable() {
+				e.disk.storeResult(key, a.Res)
+			}
+			e.journalResult(canon, key.Insts, a.Res)
 			return a, nil
-		}
-	}
-
-	v, err := e.doOnce(canon, e.cSimHit, func() (any, error) {
-		if err := e.ctxErr(); err != nil {
-			return nil, err
-		}
-		e.cSimMiss.Inc()
-		start := time.Now()
-		a, err := run()
+		})
 		if err != nil {
+			// Sharing a singleflight with a leader that was cancelled by
+			// its own submission context must not fail this (live)
+			// submission: retry — this caller either becomes the new
+			// leader or joins a live one. Our own cancellation (or the
+			// engine-wide one) still fails fast via checkCtx.
+			if isCancellation(err) && e.checkCtx(ctx) == nil && attempt < maxForeignCancelRetries {
+				continue
+			}
 			return nil, err
 		}
-		e.tSim.Observe(time.Since(start))
-		e.cInsts.Add(a.Res.Insts)
-		e.mu.Lock()
-		e.mem.putSim(canon, a, key.Insts)
-		e.mu.Unlock()
-		if e.diskAvailable() {
-			e.disk.storeResult(key, a.Res)
+		a := v.(*Artifact)
+		if !a.satisfies(need) {
+			// Shared a flight whose artifact cannot serve this need (it
+			// raced with a demotion, or joined a disk-loaded entry). Rare;
+			// retry resolves it.
+			return e.SimCtx(ctx, key, need, run)
 		}
-		e.journalResult(canon, key.Insts, a.Res)
 		return a, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	a := v.(*Artifact)
-	if !a.satisfies(need) {
-		// Shared a flight whose artifact cannot serve this need (it
-		// raced with a demotion, or joined a disk-loaded entry). Rare;
-		// retry resolves it.
-		return e.Sim(key, need, run)
-	}
-	return a, nil
 }
 
 // doOnce collapses concurrent executions of one key into a single call;
@@ -376,6 +437,14 @@ func (e *Engine) doOnce(key string, hitCtr *metrics.Counter, fn func() (any, err
 // chaos-test panic is retried in place — injected faults are transient
 // by construction and must never change results.
 func Map[I, O any](e *Engine, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
+	return MapCtx(nil, e, items, fn)
+}
+
+// MapCtx is Map with a per-submission context: once ctx is cancelled,
+// this call's not-yet-started items fail fast while other Map calls on
+// the same engine keep running. A nil ctx means no per-submission
+// cancellation (the engine-wide SetContext still applies).
+func MapCtx[I, O any](ctx context.Context, e *Engine, items []I, fn func(i int, item I) (O, error)) ([]O, error) {
 	n := len(items)
 	out := make([]O, n)
 	errs := make([]error, n)
@@ -397,7 +466,7 @@ func Map[I, O any](e *Engine, items []I, fn func(i int, item I) (O, error)) ([]O
 				if i >= n {
 					return
 				}
-				if err := e.ctxErr(); err != nil {
+				if err := e.checkCtx(ctx); err != nil {
 					errs[i] = err
 					continue
 				}

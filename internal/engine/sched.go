@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,6 +59,14 @@ func (k SchedKey) String() string {
 // duplicate a cheap replay, not corrupt state, and the second writer
 // simply overwrites the first's identical entry.
 func (e *Engine) Schedules(keys []SchedKey, compute func(miss []int) ([]SchedSummary, error)) ([]SchedSummary, error) {
+	return e.SchedulesCtx(nil, keys, compute)
+}
+
+// SchedulesCtx is Schedules with a per-submission context: once ctx is
+// cancelled the batch's misses fail fast without computing, while other
+// submissions of the same engine are untouched. A nil ctx means no
+// per-submission cancellation (the engine-wide SetContext still applies).
+func (e *Engine) SchedulesCtx(ctx context.Context, keys []SchedKey, compute func(miss []int) ([]SchedSummary, error)) ([]SchedSummary, error) {
 	out := make([]SchedSummary, len(keys))
 	var miss []int
 	for i, k := range keys {
@@ -91,7 +100,7 @@ func (e *Engine) Schedules(keys []SchedKey, compute func(miss []int) ([]SchedSum
 	if len(miss) == 0 {
 		return out, nil
 	}
-	if err := e.ctxErr(); err != nil {
+	if err := e.checkCtx(ctx); err != nil {
 		return nil, err
 	}
 	e.cSchedMiss.Add(int64(len(miss)))

@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -51,6 +52,12 @@ type Options struct {
 	// engine simulates each (benchmark, config, stack) exactly once.
 	// Nil uses a process-wide default engine.
 	Engine *engine.Engine
+	// Ctx, when non-nil, is this run's per-submission context: once it
+	// is cancelled the drivers' pending engine work fails fast, without
+	// affecting other runs sharing the same engine (one tenant's job on
+	// a server engine cancels alone). Nil means no per-run cancellation;
+	// the engine-wide context from engine.SetContext still applies.
+	Ctx context.Context
 }
 
 // defaultEngine serves Options with no explicit engine, so library
@@ -130,7 +137,7 @@ func seedFor(base uint64, bench string, use string) uint64 {
 func genTrace(opts Options, bench string) (*trace.Trace, error) {
 	eng := opts.engine()
 	key := engine.TraceKey{Bench: bench, Insts: opts.Insts, Seed: opts.Seed}
-	return eng.Trace(key, func() (*trace.Trace, error) {
+	return eng.TraceCtx(opts.Ctx, key, func() (*trace.Trace, error) {
 		return workload.Generate(bench, opts.Insts, opts.Seed)
 	})
 }
@@ -141,7 +148,7 @@ func genTrace(opts Options, bench string) (*trace.Trace, error) {
 // identical results. The lowest-indexed error wins; a panicking fn is
 // recovered and surfaced as an error instead of deadlocking the pool.
 func parBench[T any](opts Options, fn func(bench string) (T, error)) ([]T, error) {
-	return engine.Map(opts.engine(), opts.Benchmarks, func(_ int, bench string) (T, error) {
+	return engine.MapCtx(opts.Ctx, opts.engine(), opts.Benchmarks, func(_ int, bench string) (T, error) {
 		return fn(bench)
 	})
 }
@@ -165,7 +172,7 @@ func simKey(opts Options, bench string, clusters int, stack Stack, trackExact bo
 // alone lets disk-cached summaries satisfy the job without simulating.
 // Identical jobs submitted by different figures simulate once.
 func sim(opts Options, bench string, clusters int, stack Stack, trackExact bool, need engine.Need) (*engine.Artifact, error) {
-	return opts.engine().Sim(simKey(opts, bench, clusters, stack, trackExact), need, func() (*engine.Artifact, error) {
+	return opts.engine().SimCtx(opts.Ctx, simKey(opts, bench, clusters, stack, trackExact), need, func() (*engine.Artifact, error) {
 		tr, err := genTrace(opts, bench)
 		if err != nil {
 			return nil, err
@@ -184,7 +191,7 @@ func sim(opts Options, bench string, clusters int, stack Stack, trackExact bool,
 // 16-scenario replay and the slack relaxation each happen once per run —
 // in any process with a warm disk cache, zero times.
 func analysis(opts Options, bench string, clusters int, stack Stack) (engine.CritSummary, error) {
-	return opts.engine().Analysis(simKey(opts, bench, clusters, stack, false), func() (*engine.Artifact, error) {
+	return opts.engine().AnalysisCtx(opts.Ctx, simKey(opts, bench, clusters, stack, false), func() (*engine.Artifact, error) {
 		tr, err := genTrace(opts, bench)
 		if err != nil {
 			return nil, err

@@ -56,7 +56,7 @@ func idealSchedules(opts Options, bench string, stack Stack, trackExact bool, sp
 	for i, sp := range specs {
 		keys[i] = engine.SchedKey{Harvest: hk, Config: sp.config(), Pri: sp.pri}
 	}
-	return opts.engine().Schedules(keys, func(miss []int) ([]engine.SchedSummary, error) {
+	return opts.engine().SchedulesCtx(opts.Ctx, keys, func(miss []int) ([]engine.SchedSummary, error) {
 		need := engine.NeedMachine
 		for _, i := range miss {
 			if specs[i].pri != PriOracle {

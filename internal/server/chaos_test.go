@@ -1,0 +1,66 @@
+package server
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/faultinject"
+)
+
+// TestChaosUnderServe extends the robustness invariant across the API
+// boundary: with 5% fault injection live (I/O errors, truncations,
+// latency, worker panics), jobs served over HTTP must still return
+// byte-identical artifacts to a fault-free local run — retries,
+// quarantines and recomputation may happen behind the counter, but no
+// corrupt artifact may ever be visible to a client. The second pass
+// reuses the first pass's cache dir, so entries torn by injected short
+// writes must be caught by the CRC frame and recomputed.
+//
+// Fault injection is process-wide, so this test is deliberately
+// sequential (no t.Parallel) like the experiments chaos suite.
+func TestChaosUnderServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite runs the mini-sweep three times")
+	}
+	wantFig2, wantFig4 := localDiffRender(t, engine.New(engine.Config{Workers: runtime.NumCPU()}))
+
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	faultinject.Enable(1234, 0.1)
+	t.Cleanup(faultinject.Disable)
+
+	for pass := 1; pass <= 2; pass++ {
+		eng := engine.New(engine.Config{Workers: runtime.NumCPU(), CacheDir: cacheDir})
+		s, err := New(Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		ts := httptest.NewServer(s.Handler())
+
+		id := submitOK(t, ts, diffSpec)
+		st := waitTerminal(t, ts, id)
+		if st.State != StateDone {
+			t.Fatalf("chaos pass %d: job ended %s: %s", pass, st.State, st.Error)
+		}
+		arts := jobArtifacts(t, ts, id)
+		if len(arts) != 2 {
+			t.Fatalf("chaos pass %d: %d artifacts, want 2", pass, len(arts))
+		}
+		if arts[0].Output != wantFig2 || arts[1].Output != wantFig4 {
+			t.Fatalf("chaos pass %d: corrupt artifact crossed the API boundary:\n--- clean fig2\n%s\n--- served fig2\n%s\n--- clean fig4\n%s\n--- served fig4\n%s",
+				pass, wantFig2, arts[0].Output, wantFig4, arts[1].Output)
+		}
+		sum := eng.Summary()
+		t.Logf("pass %d: %d faults injected, %d retries, %d quarantined, degraded=%v",
+			pass, sum.FaultsInjected, sum.DiskRetries, sum.Quarantines, sum.DiskDegraded)
+
+		ts.Close()
+		s.Close()
+	}
+	if faultinject.Snapshot().Total() == 0 {
+		t.Fatal("chaos run injected no faults — the differential proved nothing")
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/experiments"
+)
+
+// The serve-vs-local differential is the tentpole's acceptance test: the
+// HTTP job API is a transport, not a second implementation, so a sweep
+// submitted over the wire must render the exact bytes a direct
+// experiments call renders — and a repeat submission must be served
+// entirely from the shared engine's caches.
+
+// diffSpec is the fig2+fig4 mini-sweep from the chaos suite, expressed
+// as a job spec.
+var diffSpec = Spec{
+	Tenant:      "default",
+	Experiments: []string{"fig2", "fig4"},
+	Benchmarks:  []string{"gzip", "mcf"},
+	Insts:       6_000,
+}
+
+// localDiffRender runs the mini-sweep directly on eng and returns the
+// per-experiment rendered bytes, exactly as `clustersim fig2` /
+// `clustersim fig4` would print them.
+func localDiffRender(t *testing.T, eng *engine.Engine) (fig2, fig4 string) {
+	t.Helper()
+	opts := experiments.Options{
+		Insts:      diffSpec.Insts,
+		Benchmarks: diffSpec.Benchmarks,
+		Engine:     eng,
+	}
+	f2, err := experiments.Figure2(opts)
+	if err != nil {
+		t.Fatalf("local figure2: %v", err)
+	}
+	var b2 bytes.Buffer
+	f2.Render(&b2)
+	f4, err := experiments.Figure4(opts)
+	if err != nil {
+		t.Fatalf("local figure4: %v", err)
+	}
+	var b4 bytes.Buffer
+	f4.Render(&b4)
+	return b2.String(), b4.String()
+}
+
+// TestServeVsLocalDifferential submits the mini-sweep through the HTTP
+// API and requires the returned artifacts to be byte-identical to a
+// direct local run, then submits the identical spec a second time and
+// requires the warm pass to be pure cache hits (zero new misses of any
+// artifact kind on the shared engine).
+func TestServeVsLocalDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the mini-sweep twice")
+	}
+	wantFig2, wantFig4 := localDiffRender(t, engine.New(engine.Config{Workers: runtime.NumCPU()}))
+
+	srv, ts := startTestServer(t, Config{})
+	id := submitOK(t, ts, diffSpec)
+	st := waitTerminal(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("served job ended %s: %s", st.State, st.Error)
+	}
+	arts := jobArtifacts(t, ts, id)
+	if len(arts) != 2 || arts[0].Experiment != "fig2" || arts[1].Experiment != "fig4" {
+		t.Fatalf("artifacts = %+v, want [fig2, fig4]", arts)
+	}
+	if arts[0].Output != wantFig2 {
+		t.Errorf("served fig2 diverged from local run:\n--- local\n%s\n--- served\n%s", wantFig2, arts[0].Output)
+	}
+	if arts[1].Output != wantFig4 {
+		t.Errorf("served fig4 diverged from local run:\n--- local\n%s\n--- served\n%s", wantFig4, arts[1].Output)
+	}
+
+	// Warm pass: the identical spec again; every artifact kind must hit.
+	before := srv.eng.Summary()
+	id2 := submitOK(t, ts, diffSpec)
+	st2 := waitTerminal(t, ts, id2)
+	if st2.State != StateDone {
+		t.Fatalf("warm job ended %s: %s", st2.State, st2.Error)
+	}
+	arts2 := jobArtifacts(t, ts, id2)
+	if len(arts2) != 2 || arts2[0].Output != wantFig2 || arts2[1].Output != wantFig4 {
+		t.Errorf("warm pass artifacts diverged from local run")
+	}
+	after := srv.eng.Summary()
+	if d := after.SimMisses - before.SimMisses; d != 0 {
+		t.Errorf("warm pass simulated %d configs; want 0 (pure cache hits)", d)
+	}
+	if d := after.TraceMisses - before.TraceMisses; d != 0 {
+		t.Errorf("warm pass regenerated %d traces; want 0", d)
+	}
+	if d := after.AnaMisses - before.AnaMisses; d != 0 {
+		t.Errorf("warm pass recomputed %d analyses; want 0", d)
+	}
+	if d := after.SchedMisses - before.SchedMisses; d != 0 {
+		t.Errorf("warm pass recomputed %d schedules; want 0", d)
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// StateQueued means the job passed admission and waits in the fair
+	// queue.
+	StateQueued State = "queued"
+	// StateRunning means a runner is executing the job's experiments.
+	StateRunning State = "running"
+	// StateDone means every experiment completed; results are available.
+	StateDone State = "done"
+	// StateFailed means an experiment errored; the job carries the error.
+	StateFailed State = "failed"
+	// StateCanceled means the client (or server shutdown) cancelled the
+	// job before it completed.
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress record of a job, streamed over the events
+// endpoint and embedded in status responses.
+type Event struct {
+	Seq   int    `json:"seq"`
+	State State  `json:"state"`
+	Msg   string `json:"msg"`
+}
+
+// ResultArtifact is one experiment's rendered output — byte-identical to
+// what a local `clustersim <experiment>` run prints.
+type ResultArtifact struct {
+	Experiment string `json:"experiment"`
+	Output     string `json:"output"`
+}
+
+// Job is one accepted submission moving through the queue and a runner.
+type Job struct {
+	ID   string
+	Spec Spec
+
+	// Fair-queue bookkeeping, owned by the wfq while queued.
+	cost float64
+	vft  float64
+	seq  uint64
+
+	mu        sync.Mutex
+	state     State
+	events    []Event
+	artifacts []ResultArtifact
+	errMsg    string
+	cancel    context.CancelFunc
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{} // closed on terminal state
+	updated   chan struct{} // closed and replaced on every event append
+}
+
+// newJob builds a queued job.
+func newJob(id string, sp Spec) *Job {
+	j := &Job{
+		ID:        id,
+		Spec:      sp,
+		cost:      sp.cost(),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		updated:   make(chan struct{}),
+	}
+	j.appendEventLocked("accepted")
+	return j
+}
+
+// appendEventLocked records an event under j.mu (callers below hold it
+// or are the constructor).
+func (j *Job) appendEventLocked(msg string) {
+	j.events = append(j.events, Event{Seq: len(j.events), State: j.state, Msg: msg})
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// progress appends a progress event.
+func (j *Job) progress(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.appendEventLocked(msg)
+}
+
+// start transitions queued → running and attaches the job's cancel
+// function. It returns false when the job was cancelled while queued (the
+// runner must skip it).
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.appendEventLocked("running")
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, artifacts []ResultArtifact, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.artifacts = artifacts
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	msg := string(state)
+	if errMsg != "" {
+		msg += ": " + errMsg
+	}
+	j.appendEventLocked(msg)
+	close(j.done)
+}
+
+// requestCancel cancels the job: queued jobs finish immediately (the
+// queue skips them on pop), running jobs get their context cancelled and
+// finish when the runner observes it. Returns the state after the
+// request.
+func (j *Job) requestCancel() State {
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	switch state {
+	case StateQueued:
+		j.finish(StateCanceled, nil, "canceled while queued")
+	case StateRunning:
+		if cancel != nil {
+			cancel()
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// snapshot returns the job's externally visible status.
+func (j *Job) snapshot() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:          j.ID,
+		Tenant:      j.Spec.Tenant,
+		Experiments: j.Spec.Experiments,
+		State:       j.state,
+		Events:      len(j.events),
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = &j.started
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = &j.finished
+	}
+	return st
+}
+
+// eventsSince returns the events after seq, the current state, and the
+// channel that closes on the next append (for streaming waits).
+func (j *Job) eventsSince(seq int) ([]Event, State, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var evs []Event
+	if seq < len(j.events) {
+		evs = append(evs, j.events[seq:]...)
+	}
+	return evs, j.state, j.updated
+}
+
+// results returns the artifacts and state.
+func (j *Job) results() ([]ResultArtifact, State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.artifacts, j.state, j.errMsg
+}
+
+// currentState returns the state.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// jobStatus is the wire form of a job's status.
+type jobStatus struct {
+	ID          string     `json:"id"`
+	Tenant      string     `json:"tenant"`
+	Experiments []string   `json:"experiments"`
+	State       State      `json:"state"`
+	Events      int        `json:"events"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}

@@ -1,0 +1,354 @@
+// Package loadgen is the serve-path load harness: it replays realistic
+// sweep mixes against a running clustersim server from many concurrent
+// synthetic clients, honoring the server's admission control
+// (Retry-After on 429), and reports end-to-end job latency percentiles,
+// sustained throughput, cache effectiveness, and — when given expected
+// outputs — result divergence versus local runs (which must be zero).
+//
+// The generator is deterministic per (seed, client index): each client
+// draws its spec sequence from its own xrand stream, so a bench
+// configuration replays the same submission mix every run.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"clustersim/internal/server"
+	"clustersim/internal/xrand"
+)
+
+// Config configures one load run.
+type Config struct {
+	// BaseURL of the target server (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Clients is the number of concurrent synthetic clients.
+	Clients int
+	// JobsPerClient is how many jobs each client completes when
+	// Duration is zero.
+	JobsPerClient int
+	// Duration, when positive, runs time-boxed instead: clients submit
+	// until the deadline (jobs in flight at the deadline still finish).
+	Duration time.Duration
+	// Tenants are assigned to clients round-robin; empty means
+	// {"default"}.
+	Tenants []string
+	// Specs is the submission mix; each client draws from it uniformly
+	// with its own deterministic stream. The spec's Tenant field is
+	// overwritten with the client's tenant.
+	Specs []server.Spec
+	// Seed drives the per-client spec streams.
+	Seed uint64
+	// Expected, when non-nil, maps Spec.Key() to the artifacts a local
+	// run produces; every completed job's artifacts are compared and
+	// mismatches counted in Report.Divergence.
+	Expected map[string][]server.ResultArtifact
+	// Client overrides the HTTP client (tests); nil builds one sized for
+	// Clients concurrent connections.
+	Client *http.Client
+}
+
+// Report summarizes one load run.
+type Report struct {
+	Clients     int     `json:"clients"`
+	Jobs        int     `json:"jobs"`
+	Errors      int     `json:"errors"`
+	Rejected429 int     `json:"rejected_429"`
+	Divergence  int     `json:"divergence"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+
+	// End-to-end latency (submission accepted → terminal state observed),
+	// including any admission-control backoff.
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+
+	// Engine cache deltas over the run (from /v1/stats).
+	SimHits    int64   `json:"sim_hits"`
+	SimMisses  int64   `json:"sim_misses"`
+	SimHitRate float64 `json:"sim_hit_rate"`
+}
+
+// Run executes the load run and gathers the report.
+func Run(cfg Config) (Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.JobsPerClient <= 0 {
+		cfg.JobsPerClient = 1
+	}
+	if len(cfg.Tenants) == 0 {
+		cfg.Tenants = []string{"default"}
+	}
+	if len(cfg.Specs) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no specs in the mix")
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Clients * 2,
+				MaxIdleConnsPerHost: cfg.Clients * 2,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+
+	before, err := fetchStats(hc, cfg.BaseURL)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: stats before run: %w", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		report    Report
+	)
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := xrand.New(cfg.Seed*0x9e3779b97f4a7c15 + uint64(c) + 1)
+			tenant := cfg.Tenants[c%len(cfg.Tenants)]
+			for done := 0; ; done++ {
+				if deadline.IsZero() {
+					if done >= cfg.JobsPerClient {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				sp := cfg.Specs[rng.Intn(len(cfg.Specs))]
+				sp.Tenant = tenant
+				latMs, rejected, diverged, err := runOne(hc, cfg.BaseURL, sp, cfg.Expected, deadline)
+				mu.Lock()
+				report.Rejected429 += rejected
+				if diverged {
+					report.Divergence++
+				}
+				if err != nil {
+					report.Errors++
+				} else if latMs >= 0 {
+					report.Jobs++
+					latencies = append(latencies, latMs)
+				}
+				mu.Unlock()
+				if err != nil && !deadline.IsZero() {
+					// Time-boxed runs keep going; count errors, don't spin.
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := fetchStats(hc, cfg.BaseURL)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: stats after run: %w", err)
+	}
+
+	report.Clients = cfg.Clients
+	report.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		report.JobsPerSec = float64(report.Jobs) / wall.Seconds()
+	}
+	report.SimHits = after.SimHits - before.SimHits
+	report.SimMisses = after.SimMisses - before.SimMisses
+	if total := report.SimHits + report.SimMisses; total > 0 {
+		report.SimHitRate = float64(report.SimHits) / float64(total)
+	}
+	sort.Float64s(latencies)
+	report.P50Ms = percentile(latencies, 0.50)
+	report.P90Ms = percentile(latencies, 0.90)
+	report.P99Ms = percentile(latencies, 0.99)
+	report.MaxMs = percentile(latencies, 1)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	if len(latencies) > 0 {
+		report.MeanMs = sum / float64(len(latencies))
+	}
+	return report, nil
+}
+
+// runOne submits one spec, waits for a terminal state, and optionally
+// verifies the artifacts. latMs is -1 when the job never completed.
+func runOne(hc *http.Client, base string, sp server.Spec, expected map[string][]server.ResultArtifact, deadline time.Time) (latMs float64, rejected int, diverged bool, err error) {
+	start := time.Now()
+
+	// Submit, honoring admission control: a 429 is not an error, it is
+	// the server asking us to come back after Retry-After seconds.
+	var id string
+	for {
+		id, err = submit(hc, base, sp)
+		if err == nil {
+			break
+		}
+		var ra retryAfterError
+		if !asRetryAfter(err, &ra) {
+			return -1, rejected, false, err
+		}
+		rejected++
+		wait := time.Duration(ra) * time.Second
+		if !deadline.IsZero() && time.Now().Add(wait).After(deadline) {
+			// No headroom left before the deadline; report the rejection
+			// without an error.
+			return -1, rejected, false, nil
+		}
+		time.Sleep(wait)
+	}
+
+	// Long-poll until terminal.
+	var st struct {
+		State server.State `json:"state"`
+		Error string       `json:"error"`
+	}
+	for {
+		if err := getJSON(hc, base+"/v1/jobs/"+id+"?wait=30s", &st); err != nil {
+			return -1, rejected, false, err
+		}
+		if st.State == server.StateDone || st.State == server.StateFailed || st.State == server.StateCanceled {
+			break
+		}
+	}
+	lat := float64(time.Since(start)) / float64(time.Millisecond)
+	if st.State != server.StateDone {
+		return -1, rejected, false, fmt.Errorf("loadgen: job %s ended %s: %s", id, st.State, st.Error)
+	}
+
+	if expected != nil {
+		var res struct {
+			Artifacts []server.ResultArtifact `json:"artifacts"`
+		}
+		if err := getJSON(hc, base+"/v1/jobs/"+id+"/result", &res); err != nil {
+			return -1, rejected, false, err
+		}
+		want, ok := expected[sp.Key()]
+		if !ok || !artifactsEqual(res.Artifacts, want) {
+			diverged = true
+		}
+	}
+	return lat, rejected, diverged, nil
+}
+
+// artifactsEqual compares artifact lists byte for byte.
+func artifactsEqual(got, want []server.ResultArtifact) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// retryAfterError carries the server's Retry-After seconds.
+type retryAfterError int
+
+func (e retryAfterError) Error() string {
+	return fmt.Sprintf("loadgen: 429, retry after %ds", int(e))
+}
+
+// asRetryAfter unwraps a retryAfterError.
+func asRetryAfter(err error, out *retryAfterError) bool {
+	ra, ok := err.(retryAfterError)
+	if ok {
+		*out = ra
+	}
+	return ok
+}
+
+// submit POSTs the spec and returns the job ID, or retryAfterError on
+// 429.
+func submit(hc *http.Client, base string, sp server.Spec) (string, error) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return "", err
+	}
+	resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		secs := 1
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			fmt.Sscanf(v, "%d", &secs)
+		}
+		if secs < 1 {
+			secs = 1
+		}
+		return "", retryAfterError(secs)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return "", fmt.Errorf("loadgen: submit: HTTP %d: %s", resp.StatusCode, e.Error)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// getJSON decodes a GET response into out.
+func getJSON(hc *http.Client, url string, out any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// fetchStats reads /v1/stats.
+func fetchStats(hc *http.Client, base string) (server.Stats, error) {
+	var st server.Stats
+	err := getJSON(hc, base+"/v1/stats", &st)
+	return st, err
+}
+
+// percentile returns the p-quantile (0..1) of sorted values by
+// nearest-rank, 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

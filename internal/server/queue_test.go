@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// mkJob builds a queued job with an explicit fair-queue cost.
+func mkJob(id, tenant string, cost float64) *Job {
+	j := newJob(id, Spec{Tenant: tenant})
+	j.cost = cost
+	return j
+}
+
+// popOrder drains n jobs and returns their IDs in pop order.
+func popOrder(t *testing.T, q *wfq, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed early", i)
+		}
+		ids = append(ids, j.ID)
+	}
+	return ids
+}
+
+// TestWFQBurstDoesNotStarve: a tenant flooding six jobs before a light
+// tenant submits two must not push the light tenant to the back — the
+// light tenant's jobs interleave at the front because its virtual finish
+// times start from the current virtual time, not after the burst.
+func TestWFQBurstDoesNotStarve(t *testing.T) {
+	q := newWFQ(0)
+	for i := 0; i < 6; i++ {
+		if err := q.push(mkJob(fmt.Sprintf("h%d", i), "heavy", 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := q.push(mkJob(fmt.Sprintf("l%d", i), "light", 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := popOrder(t, q, 8)
+	want := []string{"h0", "l0", "h1", "l1", "h2", "h3", "h4", "h5"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWFQWeights: equal-cost jobs from a weight-2 tenant accrue virtual
+// time half as fast, so it drains twice the work per unit of virtual
+// time as a weight-1 tenant.
+func TestWFQWeights(t *testing.T) {
+	q := newWFQ(0)
+	for i := 0; i < 4; i++ {
+		if err := q.push(mkJob(fmt.Sprintf("s%d", i), "slow", 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := q.push(mkJob(fmt.Sprintf("f%d", i), "fast", 1), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := popOrder(t, q, 8)
+	// vfts: slow 1,2,3,4 (seq 0-3); fast .5,1,1.5,2 (seq 4-7).
+	// Ties break by submission order.
+	want := []string{"f0", "s0", "f1", "f2", "s1", "f3", "s2", "s3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWFQBoundAndCancelSkip: the depth bound rejects with ErrQueueFull,
+// and jobs cancelled while queued are skipped by pop rather than handed
+// to a runner.
+func TestWFQBoundAndCancelSkip(t *testing.T) {
+	q := newWFQ(2)
+	a := mkJob("a", "t", 1)
+	b := mkJob("b", "t", 1)
+	if err := q.push(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkJob("c", "t", 1), 1); err != ErrQueueFull {
+		t.Fatalf("push beyond bound: err = %v, want ErrQueueFull", err)
+	}
+	if d := q.depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+
+	a.requestCancel()
+	j, ok := q.pop()
+	if !ok || j.ID != "b" {
+		t.Fatalf("pop after cancelling a = (%v, %v), want job b", j, ok)
+	}
+
+	left := q.close()
+	if len(left) != 0 {
+		t.Fatalf("close drained %d jobs, want 0", len(left))
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed empty queue reported a job")
+	}
+	if err := q.push(mkJob("d", "t", 1), 1); err != ErrQueueClosed {
+		t.Fatalf("push after close: err = %v, want ErrQueueClosed", err)
+	}
+}

@@ -1,0 +1,534 @@
+// Package server turns the cached, journaled, chaos-hardened experiment
+// engine into a long-running multi-tenant service: an HTTP/JSON job API
+// that accepts experiment specs, admits them behind a bounded weighted
+// fair queue keyed by tenant, executes everything through ONE shared
+// engine.Engine (so content-addressed caching and singleflight dedup
+// work across tenants), and exposes progress streams, results,
+// cancellation and /metrics from the same process.
+//
+// API (all JSON unless noted):
+//
+//	POST   /v1/jobs          submit a Spec    → 202 {id,...} | 400 | 403 | 429+Retry-After
+//	GET    /v1/jobs/{id}     status; ?wait=5s long-polls until terminal
+//	GET    /v1/jobs/{id}/result   rendered artifacts once done (409 before)
+//	GET    /v1/jobs/{id}/events   Server-Sent Events progress stream
+//	DELETE /v1/jobs/{id}     cancel (queued or running)
+//	GET    /v1/stats         engine + server counters
+//	GET    /v1/experiments   servable experiment names
+//	GET    /healthz          liveness
+//	GET    /metrics          text metrics dump (plus /debug/pprof/)
+//
+// Fairness: see the wfq type. Cancellation: every job runs under its own
+// context (engine *Ctx submissions), so cancelling one tenant's job
+// never touches another's — the regression suite for the old shared
+// SetContext race lives in internal/engine/context_test.go.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/metrics"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine executes and caches every tenant's jobs; required.
+	Engine *engine.Engine
+	// Metrics receives the server's counters; defaults to the engine's
+	// registry.
+	Metrics *metrics.Registry
+	// Tenants maps tenant ID → fair-share weight. Submissions from
+	// tenants not listed here are rejected (403). Empty means a single
+	// "default" tenant with weight 1.
+	Tenants map[string]float64
+	// MaxQueue bounds queued (not running) jobs; beyond it submissions
+	// get 429 with a Retry-After hint. <=0 means 256.
+	MaxQueue int
+	// Runners is the number of concurrent job executors; <=0 means
+	// GOMAXPROCS. (Each job further parallelizes across benchmarks on
+	// the engine's worker pool; cross-tenant duplicate work collapses in
+	// the engine's singleflight either way.)
+	Runners int
+	// MaxInsts caps a spec's per-benchmark instruction count; <=0 means
+	// 2,000,000.
+	MaxInsts int
+	// MaxJobs bounds retained finished jobs; the oldest finished jobs
+	// are forgotten beyond it. <=0 means 16384.
+	MaxJobs int
+}
+
+// Server is the multi-tenant simulation service. Create with New, wire
+// Handler into an http.Server, call Start, and Close on shutdown.
+type Server struct {
+	eng      *engine.Engine
+	met      *metrics.Registry
+	tenants  map[string]float64
+	q        *wfq
+	runners  int
+	maxInsts int
+	maxJobs  int
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // finish order, for pruning
+	nextID   uint64
+
+	running atomic.Int64
+	ewmaNs  atomic.Int64 // EWMA of job wall time, for Retry-After
+
+	cSubmitted, cCompleted, cFailed *metrics.Counter
+	cCanceled, cRejected, cInvalid  *metrics.Counter
+	tJob                            *metrics.Timer
+}
+
+// New builds a Server from cfg. The returned server accepts submissions
+// once its handler is serving, but executes nothing until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = cfg.Engine.Metrics()
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = map[string]float64{"default": 1}
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 256
+	}
+	runners := cfg.Runners
+	if runners <= 0 {
+		runners = runtime.GOMAXPROCS(0)
+	}
+	maxInsts := cfg.MaxInsts
+	if maxInsts <= 0 {
+		maxInsts = 2_000_000
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 16384
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		eng:      cfg.Engine,
+		met:      met,
+		tenants:  tenants,
+		q:        newWFQ(maxQueue),
+		runners:  runners,
+		maxInsts: maxInsts,
+		maxJobs:  maxJobs,
+		baseCtx:  ctx,
+		stop:     stop,
+		jobs:     map[string]*Job{},
+
+		cSubmitted: met.Counter("server.jobs.submitted"),
+		cCompleted: met.Counter("server.jobs.completed"),
+		cFailed:    met.Counter("server.jobs.failed"),
+		cCanceled:  met.Counter("server.jobs.canceled"),
+		cRejected:  met.Counter("server.jobs.rejected"),
+		cInvalid:   met.Counter("server.jobs.invalid"),
+		tJob:       met.Timer("server.job.run"),
+	}
+	met.Func("server.queue.depth", func() int64 { return int64(s.q.depth()) })
+	met.Func("server.jobs.running", s.running.Load)
+	return s, nil
+}
+
+// Start launches the runner pool.
+func (s *Server) Start() {
+	for i := 0; i < s.runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+}
+
+// Close stops admitting work, cancels queued and running jobs, and waits
+// for the runners to drain.
+func (s *Server) Close() {
+	for _, j := range s.q.close() {
+		j.finish(StateCanceled, nil, "server shutting down")
+		s.cCanceled.Inc()
+	}
+	s.stop() // cancels every running job's context
+	s.wg.Wait()
+}
+
+// runner executes queued jobs until the queue closes.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under its own context.
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.start(cancel) {
+		return // cancelled while queued
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	start := time.Now()
+	opts := j.Spec.options()
+	opts.Engine = s.eng
+	opts.Ctx = ctx
+
+	artifacts := make([]ResultArtifact, 0, len(j.Spec.Experiments))
+	var runErr error
+	for i, name := range j.Spec.Experiments {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		out, err := runExperiment(name, opts)
+		if err != nil {
+			runErr = err
+			break
+		}
+		artifacts = append(artifacts, ResultArtifact{Experiment: name, Output: out})
+		j.progress(fmt.Sprintf("%s done (%d/%d)", name, i+1, len(j.Spec.Experiments)))
+	}
+	dur := time.Since(start)
+	s.tJob.Observe(dur)
+	s.noteDuration(dur)
+
+	switch {
+	case runErr == nil:
+		j.finish(StateDone, artifacts, "")
+		s.cCompleted.Inc()
+	case ctx.Err() != nil || errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+		j.finish(StateCanceled, nil, "canceled")
+		s.cCanceled.Inc()
+	default:
+		j.finish(StateFailed, nil, runErr.Error())
+		s.cFailed.Inc()
+	}
+	s.noteFinished(j.ID)
+}
+
+// noteDuration folds one job's wall time into the EWMA behind Retry-After.
+func (s *Server) noteDuration(d time.Duration) {
+	for {
+		old := s.ewmaNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/4
+		}
+		if s.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter estimates (in whole seconds, clamped to [1, 60]) how long a
+// rejected client should wait for queue headroom: queued work divided by
+// drain rate.
+func (s *Server) retryAfter() int {
+	depth := s.q.depth()
+	ewma := time.Duration(s.ewmaNs.Load())
+	if ewma <= 0 {
+		ewma = time.Second
+	}
+	secs := int(math.Ceil(float64(depth) * ewma.Seconds() / float64(s.runners)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// noteFinished records finish order and prunes beyond the retention
+// bound.
+func (s *Server) noteFinished(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.maxJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// lookup returns the job for id.
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"experiments": ExperimentNames()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", metrics.Handler(s.met))
+	mux.Handle("/debug/pprof/", metrics.Handler(s.met))
+	return mux
+}
+
+// handleSubmit admits one spec.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		s.cInvalid.Inc()
+		writeErr(w, http.StatusBadRequest, "bad spec: "+err.Error())
+		return
+	}
+	if msg := validateSpec(sp, s.maxInsts); msg != "" {
+		s.cInvalid.Inc()
+		writeErr(w, http.StatusBadRequest, msg)
+		return
+	}
+	weight, ok := s.tenants[sp.Tenant]
+	if !ok {
+		s.cInvalid.Inc()
+		writeErr(w, http.StatusForbidden, fmt.Sprintf("unknown tenant %q", sp.Tenant))
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	j := newJob(id, sp)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.q.push(j, weight); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.cRejected.Inc()
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			writeErr(w, http.StatusTooManyRequests, "queue full")
+		} else {
+			writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		}
+		return
+	}
+	s.cSubmitted.Inc()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleStatus reports a job's status; ?wait=5s long-polls until the job
+// reaches a terminal state or the wait expires.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil || wait < 0 {
+			writeErr(w, http.StatusBadRequest, "bad wait duration")
+			return
+		}
+		if wait > 5*time.Minute {
+			wait = 5 * time.Minute
+		}
+		select {
+		case <-j.done:
+		case <-time.After(wait):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleResult returns the rendered artifacts of a finished job.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	artifacts, state, errMsg := j.results()
+	switch state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id": j.ID, "state": state, "artifacts": artifacts,
+		})
+	case StateFailed, StateCanceled:
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"id": j.ID, "state": state, "error": errMsg,
+		})
+	default:
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s; results exist only for done jobs", state))
+	}
+}
+
+// handleEvents streams a job's progress as Server-Sent Events until it
+// reaches a terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	seq := 0
+	for {
+		evs, state, updated := j.eventsSince(seq)
+		for _, ev := range evs {
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+			seq = ev.Seq + 1
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if state.terminal() {
+			data, _ := json.Marshal(j.snapshot())
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-updated:
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		case <-time.After(30 * time.Second):
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}
+
+// handleCancel cancels a job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	was := j.currentState()
+	state := j.requestCancel()
+	if was == StateQueued && state == StateCanceled {
+		s.cCanceled.Inc()
+		s.noteFinished(j.ID)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "state": state})
+}
+
+// Stats is the /v1/stats payload: the shared engine's cache
+// effectiveness plus the server's own job counters.
+type Stats struct {
+	Workers     int   `json:"workers"`
+	Runners     int   `json:"runners"`
+	QueueDepth  int   `json:"queue_depth"`
+	JobsRunning int64 `json:"jobs_running"`
+
+	Submitted int64 `json:"jobs_submitted"`
+	Completed int64 `json:"jobs_completed"`
+	Failed    int64 `json:"jobs_failed"`
+	Canceled  int64 `json:"jobs_canceled"`
+	Rejected  int64 `json:"jobs_rejected"`
+	Invalid   int64 `json:"jobs_invalid"`
+
+	SimHits     int64   `json:"sim_hits"`
+	SimDiskHits int64   `json:"sim_disk_hits"`
+	SimMisses   int64   `json:"sim_misses"`
+	HitRate     float64 `json:"sim_hit_rate"`
+	TraceHits   int64   `json:"trace_hits"`
+	TraceMisses int64   `json:"trace_misses"`
+	AnaHits     int64   `json:"analysis_hits"`
+	AnaMisses   int64   `json:"analysis_misses"`
+	SchedHits   int64   `json:"sched_hits"`
+	SchedMisses int64   `json:"sched_misses"`
+}
+
+// StatsSnapshot returns the current Stats (also served at /v1/stats).
+func (s *Server) StatsSnapshot() Stats {
+	es := s.eng.Summary()
+	return Stats{
+		Workers:     es.Workers,
+		Runners:     s.runners,
+		QueueDepth:  s.q.depth(),
+		JobsRunning: s.running.Load(),
+		Submitted:   s.cSubmitted.Load(),
+		Completed:   s.cCompleted.Load(),
+		Failed:      s.cFailed.Load(),
+		Canceled:    s.cCanceled.Load(),
+		Rejected:    s.cRejected.Load(),
+		Invalid:     s.cInvalid.Load(),
+		SimHits:     es.SimHits,
+		SimDiskHits: es.SimDiskHits,
+		SimMisses:   es.SimMisses,
+		HitRate:     es.HitRate(),
+		TraceHits:   es.TraceHits,
+		TraceMisses: es.TraceMisses,
+		AnaHits:     es.AnaHits,
+		AnaMisses:   es.AnaMisses,
+		SchedHits:   es.SchedHits,
+		SchedMisses: es.SchedMisses,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes a JSON error body.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

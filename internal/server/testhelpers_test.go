@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"clustersim/internal/engine"
+)
+
+// startTestServer builds a server (fresh engine unless cfg supplies one),
+// starts its runners, and serves the handler from an httptest server.
+func startTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = engine.New(engine.Config{Workers: runtime.NumCPU()})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// newQueuedServer builds a server whose runners are NOT started: accepted
+// jobs stay queued forever, which is how the contract tests pin the
+// pre-execution states (queued status, 409 results, queue-full 429,
+// cancel-while-queued).
+func newQueuedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Engine == nil {
+		cfg.Engine = engine.New(engine.Config{Workers: runtime.NumCPU()})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postBody POSTs raw bytes to /v1/jobs and returns the response with its
+// body read.
+func postBody(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp, data
+}
+
+// submitOK submits a spec and returns the accepted job's ID.
+func submitOK(t *testing.T, ts *httptest.Server, sp Spec) string {
+	t.Helper()
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postBody(t, ts, string(body))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	if st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submit response %+v: want non-empty ID in state queued", st)
+	}
+	return st.ID
+}
+
+// getJSONT GETs url and decodes the body into out, returning the status
+// code.
+func getJSONT(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v (body %q)", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitTerminal long-polls the status endpoint until the job reaches a
+// terminal state.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		var st jobStatus
+		if code := getJSONT(t, ts.URL+"/v1/jobs/"+id+"?wait=10s", &st); code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d", id, code)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 3m", id, st.State)
+		}
+	}
+}
+
+// jobArtifacts fetches a done job's artifacts.
+func jobArtifacts(t *testing.T, ts *httptest.Server, id string) []ResultArtifact {
+	t.Helper()
+	var res struct {
+		Artifacts []ResultArtifact `json:"artifacts"`
+	}
+	if code := getJSONT(t, ts.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d", id, code)
+	}
+	return res.Artifacts
+}
+
+// cancelJob DELETEs a job and returns the reported state.
+func cancelJob(t *testing.T, ts *httptest.Server, id string) State {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		State State `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode cancel response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel %s: HTTP %d", id, resp.StatusCode)
+	}
+	return out.State
+}
