@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"runtime"
 	"time"
 
 	"clustersim/internal/machine"
 	"clustersim/internal/predictor"
 	"clustersim/internal/steer"
+	"clustersim/internal/trace"
 	"clustersim/internal/workload"
 )
 
@@ -27,6 +29,14 @@ type benchPoint struct {
 	OracleNsPerRun float64 `json:"oracle_ns_per_run"`
 	Speedup        float64 `json:"speedup"`
 
+	// VariantsNsPerRun is this cell's share of one fused SimulateVariants
+	// call batching the whole cluster sweep of its benchmark (total fused
+	// time divided by the number of geometries); VariantsSpeedup compares
+	// it against running this cell alone on the wakeup scheduler. The
+	// fused run is gated byte-identical to the solo runs before timing.
+	VariantsNsPerRun float64 `json:"variants_ns_per_run"`
+	VariantsSpeedup  float64 `json:"variants_speedup"`
+
 	WakeupAllocsPerRun float64 `json:"wakeup_allocs_per_run"`
 	OracleAllocsPerRun float64 `json:"oracle_allocs_per_run"`
 	AllocRatio         float64 `json:"alloc_ratio"`
@@ -41,9 +51,10 @@ type benchReport struct {
 	GoVersion         string       `json:"go_version"`
 	Insts             int          `json:"insts"`
 	Seed              uint64       `json:"seed"`
-	Points            []benchPoint `json:"points"`
-	GeomeanSpeedup    float64      `json:"geomean_speedup"`
-	GeomeanAllocRatio float64      `json:"geomean_alloc_ratio"`
+	Points                 []benchPoint `json:"points"`
+	GeomeanSpeedup         float64      `json:"geomean_speedup"`
+	GeomeanVariantsSpeedup float64      `json:"geomean_variants_speedup"`
+	GeomeanAllocRatio      float64      `json:"geomean_alloc_ratio"`
 }
 
 // measure times runs of fn until minDuration has elapsed (at least
@@ -63,6 +74,39 @@ func measure(fn func(), minRuns int, minDuration time.Duration) (nsPerRun, alloc
 		float64(after.Mallocs-before.Mallocs) / float64(runs), runs
 }
 
+// gateVariants is the differential gate run before any fused timing: the
+// fused batch (built from fused) must produce results and per-event
+// timelines byte-identical to solo wakeup runs of the same variants
+// (built independently via solo, so neither set shares predictor state).
+func gateVariants(tr *trace.Trace, fused, solo []machine.Variant) error {
+	outs, _, err := machine.SimulateVariants(tr, fused)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, o := range outs {
+			machine.Recycle(o.M)
+		}
+	}()
+	for i := range outs {
+		m, err := machine.New(solo[i].Config, tr, solo[i].Pol, solo[i].Hooks)
+		if err != nil {
+			return err
+		}
+		res := m.Run()
+		if !reflect.DeepEqual(outs[i].Res, res) {
+			return fmt.Errorf("variants gate: geometry %d result diverged from solo run", i)
+		}
+		sev, fev := m.Events(), outs[i].M.Events()
+		for s := range fev {
+			if fev[s] != sev[s] {
+				return fmt.Errorf("variants gate: geometry %d event %d diverged from solo run", i, s)
+			}
+		}
+	}
+	return nil
+}
+
 // runBenchJSON executes the machine sweep (the Figure 4 benchmark set
 // across 1/2/4 clusters under the focused stack) and writes the report.
 func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string) error {
@@ -70,22 +114,29 @@ func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string
 		benches = []string{"gzip", "vpr", "gcc", "mcf"}
 	}
 	rep := benchReport{
-		Schema:    "clustersim/bench-machine/v1",
+		Schema:    "clustersim/bench-machine/v2",
 		GoVersion: runtime.Version(),
 		Insts:     insts,
 		Seed:      seed,
 	}
+	clusterList := []int{1, 2, 4}
 	logSpeed := 0.0
+	logVariants := 0.0
 	logAlloc := 0.0
 	for _, bench := range benches {
 		tr, err := workload.Generate(bench, insts, seed)
 		if err != nil {
 			return err
 		}
-		for _, clusters := range []int{1, 2, 4} {
+		mkCfg := func(clusters int) machine.Config {
 			cfg := machine.NewConfig(clusters)
 			cfg.FwdLatency = fwd
 			cfg.SchedMode = machine.SchedBinaryCritical
+			return cfg
+		}
+		var pts []benchPoint
+		for _, clusters := range clusterList {
+			cfg := mkCfg(clusters)
 
 			run := func(oracle bool) func() {
 				return func() {
@@ -112,7 +163,7 @@ func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string
 			wNs, wAllocs, runs := measure(run(false), 3, 150*time.Millisecond)
 			oNs, oAllocs, _ := measure(run(true), 3, 150*time.Millisecond)
 
-			pt := benchPoint{
+			pts = append(pts, benchPoint{
 				Bench: bench, Clusters: clusters, Insts: insts,
 				Runs:           runs,
 				WakeupNsPerRun: wNs, OracleNsPerRun: oNs,
@@ -120,16 +171,50 @@ func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string
 				WakeupAllocsPerRun: wAllocs, OracleAllocsPerRun: oAllocs,
 				AllocRatio:         oAllocs / math.Max(wAllocs, 1),
 				WakeupMInstsPerSec: float64(insts) / wNs * 1e3,
+			})
+		}
+
+		// The fused sweep: all geometries of this benchmark in one
+		// SimulateVariants call. Gate byte-identity against solo wakeup
+		// runs once, then time the fused call.
+		mkVariants := func() []machine.Variant {
+			vs := make([]machine.Variant, len(clusterList))
+			for i, clusters := range clusterList {
+				vs[i] = machine.Variant{Config: mkCfg(clusters), Pol: steer.Focused{},
+					Hooks: machine.Hooks{Binary: predictor.NewDefaultBinary()}}
 			}
-			rep.Points = append(rep.Points, pt)
-			logSpeed += math.Log(pt.Speedup)
-			logAlloc += math.Log(pt.AllocRatio)
-			fmt.Fprintf(os.Stderr, "bench %-6s %dx: wakeup %.1fms oracle %.1fms speedup %.2fx allocs %.0f vs %.0f (%.0fx)\n",
-				bench, clusters, wNs/1e6, oNs/1e6, pt.Speedup, wAllocs, oAllocs, pt.AllocRatio)
+			return vs
+		}
+		if err := gateVariants(tr, mkVariants(), mkVariants()); err != nil {
+			return fmt.Errorf("bench %s: %w", bench, err)
+		}
+		vNs, _, _ := measure(func() {
+			outs, _, err := machine.SimulateVariants(tr, mkVariants())
+			if err != nil {
+				panic(err)
+			}
+			for _, o := range outs {
+				machine.Recycle(o.M)
+			}
+		}, 3, 150*time.Millisecond)
+		perVariant := vNs / float64(len(clusterList))
+
+		for i := range pts {
+			pts[i].VariantsNsPerRun = perVariant
+			pts[i].VariantsSpeedup = pts[i].WakeupNsPerRun / perVariant
+			rep.Points = append(rep.Points, pts[i])
+			logSpeed += math.Log(pts[i].Speedup)
+			logVariants += math.Log(pts[i].VariantsSpeedup)
+			logAlloc += math.Log(pts[i].AllocRatio)
+			fmt.Fprintf(os.Stderr, "bench %-6s %dx: wakeup %.1fms oracle %.1fms variants %.1fms speedup %.2fx variants %.2fx allocs %.0f vs %.0f (%.0fx)\n",
+				pts[i].Bench, pts[i].Clusters, pts[i].WakeupNsPerRun/1e6, pts[i].OracleNsPerRun/1e6,
+				perVariant/1e6, pts[i].Speedup, pts[i].VariantsSpeedup,
+				pts[i].WakeupAllocsPerRun, pts[i].OracleAllocsPerRun, pts[i].AllocRatio)
 		}
 	}
 	n := float64(len(rep.Points))
 	rep.GeomeanSpeedup = math.Exp(logSpeed / n)
+	rep.GeomeanVariantsSpeedup = math.Exp(logVariants / n)
 	rep.GeomeanAllocRatio = math.Exp(logAlloc / n)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -140,7 +225,7 @@ func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "geomean speedup %.2fx, geomean alloc ratio %.1fx -> %s\n",
-		rep.GeomeanSpeedup, rep.GeomeanAllocRatio, path)
+	fmt.Fprintf(os.Stderr, "geomean speedup %.2fx, geomean variants speedup %.2fx, geomean alloc ratio %.1fx -> %s\n",
+		rep.GeomeanSpeedup, rep.GeomeanVariantsSpeedup, rep.GeomeanAllocRatio, path)
 	return nil
 }

@@ -161,6 +161,56 @@ func TestChaosSurvivesFullFaultRate(t *testing.T) {
 	}
 }
 
+// TestChaosVariantBatch drives the fused Figure-4 variant batch directly
+// under 5%% injection with a disk cache: pass one computes every
+// geometry through one SimulateVariants call per benchmark (injected
+// store faults retried or absorbed), pass two re-reads the batch from
+// the possibly-torn disk entries (CRC-quarantined entries recompute).
+// Both passes must match the fault-free batch exactly.
+func TestChaosVariantBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite runs the mini-sweep three times")
+	}
+	grid := append([]int{1}, clusterCounts...)
+	runBatch := func(eng *engine.Engine) []float64 {
+		opts := chaosOpts(eng)
+		var ipcs []float64
+		for _, bench := range opts.Benchmarks {
+			arts, err := simVariants(opts, bench, grid, StackFocused, false, engine.NeedResult)
+			if err != nil {
+				t.Fatalf("simVariants %s: %v", bench, err)
+			}
+			for _, a := range arts {
+				ipcs = append(ipcs, a.Res.IPC())
+			}
+		}
+		return ipcs
+	}
+	clean := runBatch(engine.New(engine.Config{Workers: runtime.NumCPU()}))
+
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	defer saveQuarantine(t, cacheDir)
+	faultinject.Enable(42, 0.05)
+	t.Cleanup(faultinject.Disable)
+
+	for pass := 1; pass <= 2; pass++ {
+		eng := engine.New(engine.Config{Workers: runtime.NumCPU(), CacheDir: cacheDir})
+		chaos := runBatch(eng)
+		for i := range clean {
+			if chaos[i] != clean[i] {
+				t.Fatalf("pass %d cell %d: IPC %v under chaos, %v fault-free",
+					pass, i, chaos[i], clean[i])
+			}
+		}
+		s := eng.Summary()
+		t.Logf("pass %d: %d faults injected, %d retries, %d quarantined, misses=%d",
+			pass, s.FaultsInjected, s.DiskRetries, s.Quarantines, s.SimMisses)
+	}
+	if faultinject.Snapshot().Total() == 0 {
+		t.Fatal("chaos run injected no faults — the differential proved nothing")
+	}
+}
+
 // TestKillAndResume simulates a killed sweep: a first process journals a
 // subset of the work, then a second process resumes and runs the full
 // sweep. The resumed run must serve the journaled keys without

@@ -216,29 +216,29 @@ func runStack(opts Options, bench string, _ *trace.Trace, clusters int, stack St
 	return runOut{m: a.Machine(), res: a.Res, exact: a.Exact()}, nil
 }
 
-// simulate builds and runs one machine under the given policy stack,
-// with the online criticality detector training the appropriate
-// predictors. trackExact additionally records unlimited-precision
-// criticality frequencies. This is the engine job body; everything it
-// does is determined by (opts, bench, clusters, stack, trackExact).
-// keepMachine controls the machine's lifetime: callers that never read
-// per-instruction events let the run return a result-only artifact and
-// recycle the machine (with its megabytes of event log) into the pool.
-func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack Stack, trackExact, keepMachine bool) (*engine.Artifact, error) {
+// stackSetup is the fully-built machine recipe for one (benchmark,
+// clusters, stack) job: everything in it is determined by (opts, bench,
+// clusters, stack, trackExact) — the purity contract the engine's
+// caching relies on.
+type stackSetup struct {
+	cfg   machine.Config
+	pol   machine.SteerPolicy
+	hooks machine.Hooks
+	det   *critpath.Detector // nil for StackDepBased
+	exact *predictor.Exact   // nil unless trackExact (and never for depbased)
+}
+
+// buildStack constructs the machine configuration, policy, hooks and
+// (for criticality stacks) the online detector for one job, without
+// running anything. simulate and simVariants share it so the solo and
+// fused submission paths build byte-identical machines.
+func buildStack(opts Options, bench string, clusters int, stack Stack, trackExact bool) (stackSetup, error) {
 	cfg := machine.NewConfig(clusters)
 	cfg.FwdLatency = opts.Fwd
 
 	if stack == StackDepBased {
-		m, err := machine.NewPooled(cfg, tr, steer.DepBased{}, machine.Hooks{EpochLen: opts.EpochLen})
-		if err != nil {
-			return nil, err
-		}
-		res := m.Run()
-		if !keepMachine {
-			machine.Recycle(m)
-			return engine.NewResultArtifact(res, nil), nil
-		}
-		return engine.NewArtifact(m, res, nil), nil
+		return stackSetup{cfg: cfg, pol: steer.DepBased{},
+			hooks: machine.Hooks{EpochLen: opts.EpochLen}}, nil
 	}
 
 	var pol machine.SteerPolicy
@@ -258,7 +258,7 @@ func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack S
 		cfg.SchedMode = machine.SchedLoC
 		pol = steer.NewProactive()
 	default:
-		return nil, fmt.Errorf("experiments: unknown stack %q", stack)
+		return stackSetup{}, fmt.Errorf("experiments: unknown stack %q", stack)
 	}
 	if stack != StackFocused {
 		hooks.LoC = predictor.NewDefaultLoC(xrand.New(seedFor(opts.Seed, bench, "loc")))
@@ -274,16 +274,82 @@ func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack S
 		det.TrackExact(exact)
 	}
 	hooks.OnEpoch = det.OnEpoch
+	return stackSetup{cfg: cfg, pol: pol, hooks: hooks, det: det, exact: exact}, nil
+}
 
-	m, err := machine.NewPooled(cfg, tr, pol, hooks)
+// artifactFor wraps one finished run, recycling the machine into the
+// pool when the caller never reads per-instruction events.
+func artifactFor(m *machine.Machine, res machine.Result, exact *predictor.Exact, keepMachine bool) *engine.Artifact {
+	if !keepMachine {
+		machine.Recycle(m)
+		return engine.NewResultArtifact(res, exact)
+	}
+	return engine.NewArtifact(m, res, exact)
+}
+
+// simulate builds and runs one machine under the given policy stack,
+// with the online criticality detector training the appropriate
+// predictors. trackExact additionally records unlimited-precision
+// criticality frequencies. This is the engine job body; everything it
+// does is determined by (opts, bench, clusters, stack, trackExact).
+// keepMachine controls the machine's lifetime: callers that never read
+// per-instruction events let the run return a result-only artifact and
+// recycle the machine (with its megabytes of event log) into the pool.
+func simulate(opts Options, bench string, tr *trace.Trace, clusters int, stack Stack, trackExact, keepMachine bool) (*engine.Artifact, error) {
+	su, err := buildStack(opts, bench, clusters, stack, trackExact)
 	if err != nil {
 		return nil, err
 	}
-	det.Bind(m)
-	res := m.Run()
-	if !keepMachine {
-		machine.Recycle(m)
-		return engine.NewResultArtifact(res, exact), nil
+	m, err := machine.NewPooled(su.cfg, tr, su.pol, su.hooks)
+	if err != nil {
+		return nil, err
 	}
-	return engine.NewArtifact(m, res, exact), nil
+	if su.det != nil {
+		su.det.Bind(m)
+	}
+	res := m.Run()
+	return artifactFor(m, res, su.exact, keepMachine), nil
+}
+
+// simVariants submits every cluster geometry of one (benchmark, stack)
+// sweep as a single batch: cached geometries are served individually
+// under their usual SimKeys, and whatever remains is computed by one
+// fused machine.SimulateVariants call that decodes the trace, builds the
+// producer index and trains the shared front-end once for the whole
+// sweep. The returned artifacts align with clustersList.
+func simVariants(opts Options, bench string, clustersList []int, stack Stack, trackExact bool, need engine.Need) ([]*engine.Artifact, error) {
+	keys := make([]engine.SimKey, len(clustersList))
+	for i, k := range clustersList {
+		keys[i] = simKey(opts, bench, k, stack, trackExact)
+	}
+	return opts.engine().SimVariantsCtx(opts.Ctx, keys, need, func(miss []int) ([]*engine.Artifact, error) {
+		tr, err := genTrace(opts, bench)
+		if err != nil {
+			return nil, err
+		}
+		variants := make([]machine.Variant, len(miss))
+		setups := make([]stackSetup, len(miss))
+		for j, i := range miss {
+			su, err := buildStack(opts, bench, clustersList[i], stack, trackExact)
+			if err != nil {
+				return nil, err
+			}
+			setups[j] = su
+			v := machine.Variant{Config: su.cfg, Pol: su.pol, Hooks: su.hooks}
+			if su.det != nil {
+				det := su.det
+				v.Setup = func(m *machine.Machine) { det.Bind(m) }
+			}
+			variants[j] = v
+		}
+		outs, _, err := machine.SimulateVariants(tr, variants)
+		if err != nil {
+			return nil, err
+		}
+		arts := make([]*engine.Artifact, len(miss))
+		for j := range outs {
+			arts[j] = artifactFor(outs[j].M, outs[j].Res, setups[j].exact, need&engine.NeedMachine != 0)
+		}
+		return arts, nil
+	})
 }

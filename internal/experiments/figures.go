@@ -86,16 +86,18 @@ func Figure4(opts Options) (*Figure4Result, error) {
 	t := &stats.Table{Title: "Figure 4: focused steering and scheduling (normalized CPI)",
 		Columns: []string{"2x4w", "4x2w", "8x1w"}}
 	rows, err := parBench(opts, func(bench string) ([]float64, error) {
-		base, err := sim(opts, bench, 1, StackFocused, false, engine.NeedResult)
+		// All four geometries of one benchmark run as a single fused
+		// batch: one trace decode, one producer index, one shared
+		// front-end profile — cached misses only, under the same SimKeys
+		// solo submissions use.
+		arts, err := simVariants(opts, bench, append([]int{1}, clusterCounts...),
+			StackFocused, false, engine.NeedResult)
 		if err != nil {
 			return nil, err
 		}
+		base := arts[0]
 		var vals []float64
-		for _, k := range clusterCounts {
-			out, err := sim(opts, bench, k, StackFocused, false, engine.NeedResult)
-			if err != nil {
-				return nil, err
-			}
+		for _, out := range arts[1:] {
 			vals = append(vals, out.Res.CPI()/base.Res.CPI())
 		}
 		return vals, nil

@@ -105,6 +105,11 @@ type Machine struct {
 	pendingReason  DispatchReason
 	pendingBlocker int64
 
+	// steerPend is per-dispatch-iteration scratch: the count of the
+	// steered instruction's unissued producers (raw multiplicity),
+	// piggybacked on the steering walk for fusedEnqueue.
+	steerPend int32
+
 	// Statistics.
 	mispredicts      int64
 	branches         int64
@@ -133,6 +138,35 @@ type Machine struct {
 	// Reinit can keep them when the geometry is unchanged.
 	bpBits uint
 	l1cfg  cache.Config
+
+	// Fused-variant state (SimulateVariants; see variants.go). All
+	// nil/false on solo runs: Reinit clears them and SimulateVariants
+	// installs them between Reinit and Run. profile replaces live gshare
+	// updates with the shared precomputed outcomes, soa serves hot
+	// per-instruction facts from shared dense arrays, and kern replaces
+	// the SteerPolicy interface calls with an inlined kernel. fused
+	// additionally enables replay-only loop specializations (prefix
+	// ready-list compaction) that the solo path deliberately forgoes so
+	// it stays the verbatim differential oracle.
+	fused   bool
+	profile *frontProfile
+	soa     *traceSoA
+	kern    *kernelState
+	// fr, when non-nil, routes the replay through the packed issue
+	// engine (fusedissue.go): dense per-seq state and 8-byte wake/ready
+	// keys in place of the solo loop's Event strides and 32-byte
+	// entries. Owned by the SimulateVariants batch, not the machine.
+	// frDeferred additionally defers the issue-time event-log writes to
+	// one sequential pass after the run; it is only set when nothing
+	// can read the event log mid-run (kernel steering, no hooks).
+	// frNoReset further skips the pre-run event-log clear: legal when
+	// every event field is rewritten unconditionally — live stages own
+	// theirs, fusedFinalize owns the rest (including the conditionals
+	// Mispredicted/PredCritical/LoCLevel/globalDone) — and the two
+	// mid-run Fetch sentinel tests switch to the in-order fetch cursor.
+	fr         *fusedRun
+	frDeferred bool
+	frNoReset  bool
 }
 
 type clusterState struct {
@@ -217,6 +251,8 @@ func (m *Machine) Reinit(cfg Config, tr *trace.Trace, pol SteerPolicy, hooks Hoo
 	}
 	m.onEpoch, m.onCommitInst = hooks.OnEpoch, hooks.OnCommitInst
 	m.oracle = false
+	m.fused, m.profile, m.soa, m.kern = false, nil, nil, nil
+	m.fr, m.frDeferred, m.frNoReset = nil, false, false
 
 	if n := tr.Len(); cap(m.events) >= n {
 		m.events = m.events[:n]
@@ -376,6 +412,9 @@ func (m *Machine) Run() Result {
 			}
 		}
 	}
+	if m.frDeferred {
+		m.fusedFinalize()
+	}
 	missRate, accesses := m.l1.MissRate()
 	return Result{
 		ConfigName:       m.cfg.Name(),
@@ -416,7 +455,18 @@ func (m *Machine) idleCycles() int64 {
 
 	// Commit: the head retires on the first cycle strictly after its
 	// completion. An unissued head is bounded by the issue conditions.
-	if c := m.events[m.commitIdx].Complete; c != Unset {
+	// Deferred replays read completion from the packed state, the only
+	// place it lives before fusedFinalize.
+	var headComplete int64
+	if m.frDeferred {
+		headComplete = Unset // undispatched: packed record is last run's
+		if m.commitIdx < m.dispHead {
+			headComplete = int64(m.fr.st[m.commitIdx].complete)
+		}
+	} else {
+		headComplete = m.events[m.commitIdx].Complete
+	}
+	if c := headComplete; c != Unset {
 		if c+1 <= t {
 			return 0
 		}
@@ -425,25 +475,58 @@ func (m *Machine) idleCycles() int64 {
 
 	// Issue: matured-but-unissued entries guarantee work next cycle (the
 	// first sorted candidate of a cluster always fits the issue budget);
-	// otherwise the earliest wake-heap maturation bounds the skip.
-	for c := range m.clusters {
-		cs := &m.clusters[c]
-		if len(cs.ready) > 0 {
-			return 0
-		}
-		if len(cs.wake) > 0 {
-			if r := cs.wake[0].ready; r <= t {
+	// otherwise the earliest pending wake maturation bounds the skip.
+	// The packed engine tracks that minimum exactly per cluster
+	// (wringMin/wfarMin), so the bound is as tight as the solo heap's.
+	if m.fr != nil {
+		for c := range m.clusters {
+			if len(m.fr.ready[c]) > int(m.fr.rdHead[c]) {
 				return 0
-			} else {
+			}
+			if r := m.fr.wringMin[c]; r != wakeNone {
+				if r <= t {
+					return 0
+				}
 				consider(r)
+			}
+			if r := m.fr.wfarMin[c]; r != wakeNone {
+				if r <= t {
+					return 0
+				}
+				consider(r)
+			}
+		}
+	} else {
+		for c := range m.clusters {
+			cs := &m.clusters[c]
+			if len(cs.ready) > 0 {
+				return 0
+			}
+			if len(cs.wake) > 0 {
+				if r := cs.wake[0].ready; r <= t {
+					return 0
+				} else {
+					consider(r)
+				}
 			}
 		}
 	}
 
 	// Dispatch/steering.
 	if m.dispHead < n {
-		if ev := &m.events[m.dispHead]; ev.Fetch != Unset {
-			delivered := ev.Fetch + int64(m.cfg.PipelineDepth)
+		// With the event clear skipped, "has the head been fetched" comes
+		// from the in-order fetch cursor (equivalent: fetch sets Fetch in
+		// strict seq order) and the side-array fetch cycle.
+		headFetch := Unset
+		if m.frNoReset {
+			if m.dispHead < m.nextFetch {
+				headFetch = int64(m.fr.fetchC[m.dispHead])
+			}
+		} else {
+			headFetch = m.events[m.dispHead].Fetch
+		}
+		if headFetch != Unset {
+			delivered := headFetch + int64(m.cfg.PipelineDepth)
 			switch {
 			case delivered > t:
 				consider(delivered)
@@ -471,8 +554,21 @@ func (m *Machine) idleCycles() int64 {
 }
 
 func (m *Machine) reset() {
-	for i := range m.events {
-		m.events[i].reset()
+	if m.frNoReset {
+		// Every field is rewritten before anyone reads it (see the field
+		// comment); clearing 112 bytes per instruction here would be pure
+		// memory traffic.
+	} else if m.soa != nil && len(m.soa.evClear) >= len(m.events) {
+		// Fused replay: one bulk copy from the shared pre-reset template,
+		// field-for-field identical to the per-event reset below.
+		copy(m.events, m.soa.evClear[:len(m.events)])
+	} else {
+		for i := range m.events {
+			m.events[i].reset()
+		}
+	}
+	if m.fr != nil {
+		m.fr.reset()
 	}
 	m.cycle = 0
 	m.nextFetch = 0
@@ -512,7 +608,11 @@ func (m *Machine) reset() {
 	m.steerStallCycles = 0
 	m.ilpAvail = [MaxILPBucket + 1]int64{}
 	m.ilpIssued = [MaxILPBucket + 1]int64{}
-	m.bp.Reset()
+	if m.profile == nil {
+		// With a shared front-end profile attached the live gshare is
+		// never consulted, so its state is irrelevant to the run.
+		m.bp.Reset()
+	}
 	m.l1.Reset()
 	m.pol.Reset()
 }
@@ -522,13 +622,32 @@ func (m *Machine) reset() {
 func (m *Machine) commit() {
 	n := int64(m.tr.Len())
 	for w := 0; w < m.cfg.CommitWidth && m.commitIdx < n; w++ {
-		ev := &m.events[m.commitIdx]
-		if ev.Complete == Unset || ev.Complete >= m.cycle {
-			break
+		if m.frDeferred {
+			// The dispatch-cursor guard keeps this off packed records the
+			// run has not initialized yet (st is not cleared between runs).
+			if m.commitIdx >= m.dispHead {
+				break
+			}
+			if c := m.fr.st[m.commitIdx].complete; c < 0 || int64(c) >= m.cycle {
+				break
+			}
+		} else {
+			ev := &m.events[m.commitIdx]
+			if ev.Complete == Unset || ev.Complete >= m.cycle {
+				break
+			}
 		}
-		ev.Commit = m.cycle
-		m.retireBuf.m, m.retireBuf.seq = m, m.commitIdx
-		m.pol.OnCommit(m.commitIdx, &m.retireBuf)
+		if m.frNoReset {
+			m.fr.commitC[m.commitIdx] = int32(m.cycle)
+		} else {
+			m.events[m.commitIdx].Commit = m.cycle
+		}
+		if m.kern == nil {
+			// Kernel policies declare OnCommit a no-op (KernelSpec
+			// contract), so the fused path skips the interface call.
+			m.retireBuf.m, m.retireBuf.seq = m, m.commitIdx
+			m.pol.OnCommit(m.commitIdx, &m.retireBuf)
+		}
 		if m.onCommitInst != nil {
 			m.onCommitInst(m.commitIdx)
 		}
@@ -582,6 +701,10 @@ func (m *Machine) issue() {
 		m.issueScan()
 		return
 	}
+	if m.fr != nil {
+		m.fusedIssue()
+		return
+	}
 	avail := 0
 	for c := range m.clusters {
 		cs := &m.clusters[c]
@@ -599,15 +722,19 @@ func (m *Machine) issue() {
 	}
 	issued := m.issueMerge()
 	if issued > 0 {
-		for c := range m.clusters {
-			cs := &m.clusters[c]
-			kept := cs.ready[:0]
-			for _, e := range cs.ready {
-				if m.events[e.seq].Issue == Unset {
-					kept = append(kept, e)
+		if m.fused {
+			m.compactReadyPrefix()
+		} else {
+			for c := range m.clusters {
+				cs := &m.clusters[c]
+				kept := cs.ready[:0]
+				for _, e := range cs.ready {
+					if m.events[e.seq].Issue == Unset {
+						kept = append(kept, e)
+					}
 				}
+				cs.ready = kept
 			}
-			cs.ready = kept
 		}
 	}
 	bucket := avail
@@ -658,8 +785,13 @@ func (m *Machine) issueMerge() int {
 		e := &m.clusters[best].ready[m.cursors[best]]
 		m.cursors[best]++
 		b := &budgets[best]
-		in := &m.tr.Insts[e.seq]
-		switch in.Op.FU() {
+		var fu isa.FU
+		if m.soa != nil {
+			fu = isa.FU(m.soa.fu[e.seq])
+		} else {
+			fu = m.tr.Insts[e.seq].Op.FU()
+		}
+		switch fu {
 		case isa.FUInt:
 			if b.integer == 0 {
 				continue
@@ -760,16 +892,36 @@ func (m *Machine) issueSelect() int {
 func (m *Machine) issueOne(cd *candidate) {
 	seq := cd.seq
 	ev := &m.events[seq]
-	in := &m.tr.Insts[seq]
 
 	ev.Ready = cd.ready
 	ev.Issue = m.cycle
 	ev.CritProducer = cd.crit
 	ev.CritProducerRemote = cd.remote
 
-	lat := int64(in.Op.Latency())
-	if in.Op == isa.Load {
-		accessLat, hit := m.l1.Access(in.Addr)
+	// Per-instruction facts come from the shared SoA on fused runs (the
+	// AoS trace record is then only touched for memory addresses) and
+	// from the trace record itself on solo runs; the values are
+	// identical by construction.
+	var (
+		lat             int64
+		isLoad, isStore bool
+		hasOut          bool // writes a register or drains a store value
+	)
+	if m.soa != nil {
+		fl := m.soa.flags[seq]
+		lat = int64(m.soa.lat[seq])
+		isLoad = fl&soaLoad != 0
+		isStore = fl&soaStore != 0
+		hasOut = fl&(soaHasDst|soaStore) != 0
+	} else {
+		in := &m.tr.Insts[seq]
+		lat = int64(in.Op.Latency())
+		isLoad = in.Op == isa.Load
+		isStore = in.Op == isa.Store
+		hasOut = in.HasDst() || isStore
+	}
+	if isLoad {
+		accessLat, hit := m.l1.Access(m.tr.Insts[seq].Addr)
 		if !hit {
 			ev.L1Miss = true
 		}
@@ -777,14 +929,14 @@ func (m *Machine) issueOne(cd *candidate) {
 		// non-default L1.HitCycles changes hit latency too (identical to
 		// the ISA latency on the default geometry).
 		lat = loadAgenCycles + int64(accessLat)
-	} else if in.Op == isa.Store {
-		m.l1.Access(in.Addr) // write-allocate; latency hidden by commit
+	} else if isStore {
+		m.l1.Access(m.tr.Insts[seq].Addr) // write-allocate; latency hidden by commit
 	}
 	ev.Complete = m.cycle + lat
 	// The value becomes visible to other clusters after the forwarding
 	// latency — waiting for a broadcast slot first if the global bypass
 	// network's bandwidth is limited.
-	if m.cfg.Clusters > 1 && (in.HasDst() || in.Op == isa.Store) {
+	if m.cfg.Clusters > 1 && hasOut {
 		bcast := ev.Complete
 		if m.cfg.BypassPerCluster > 0 {
 			bcast = m.broadcastSlot(cd.cluster, bcast)
@@ -817,7 +969,10 @@ func (m *Machine) issueOne(cd *candidate) {
 	}
 	m.clusters[cd.cluster].occ--
 	m.lastIssuedFrom[cd.cluster] = seq
-	m.pol.OnIssue(seq, cd.cluster)
+	if m.kern == nil {
+		// Kernel policies declare OnIssue a no-op (KernelSpec contract).
+		m.pol.OnIssue(seq, cd.cluster)
+	}
 }
 
 // wakeConsumers decrements the outstanding-producer count of every
@@ -947,7 +1102,14 @@ func (m *Machine) dispatch() {
 	for w := 0; w < m.cfg.DispatchWidth && m.dispHead < n; w++ {
 		seq := m.dispHead
 		ev := &m.events[seq]
-		if ev.Fetch == Unset || ev.Fetch+int64(m.cfg.PipelineDepth) > m.cycle {
+		if m.frNoReset {
+			// Reset-elided replay: the fetched test uses the in-order
+			// fetch cursor and the side-array fetch cycle; the event log
+			// is untouched until fusedFinalize.
+			if seq >= m.nextFetch || int64(m.fr.fetchC[seq])+int64(m.cfg.PipelineDepth) > m.cycle {
+				break
+			}
+		} else if ev.Fetch == Unset || ev.Fetch+int64(m.cfg.PipelineDepth) > m.cycle {
 			break // not yet delivered by the front end
 		}
 		if m.dispatched-m.commitIdx >= int64(m.cfg.ROBSize) {
@@ -955,15 +1117,27 @@ func (m *Machine) dispatch() {
 			break
 		}
 
-		view := &m.viewBuf
-		view.m = m
-		view.seq = seq
-		view.snapOcc = nil
-		if m.cfg.GroupSteering {
-			view.snapOcc = m.occSnap
+		var dec Decision
+		if m.kern != nil {
+			switch {
+			case m.fr == nil:
+				dec = m.steerKernel(seq)
+			case m.cfg.Clusters == 1:
+				dec = m.steerKernelMono(seq)
+			default:
+				dec = m.steerKernelPacked(seq)
+			}
+		} else {
+			view := &m.viewBuf
+			view.m = m
+			view.seq = seq
+			view.snapOcc = nil
+			if m.cfg.GroupSteering {
+				view.snapOcc = m.occSnap
+			}
+			view.producers = m.gatherProducers(seq, view.producers[:0])
+			dec = m.pol.Steer(view)
 		}
-		view.producers = m.gatherProducers(seq, view.producers[:0])
-		dec := m.pol.Steer(view)
 		if dec.Stall || !m.hasSpace(dec.Cluster) {
 			blocker := Unset
 			if dec.Cluster >= 0 && dec.Cluster < m.cfg.Clusters {
@@ -975,52 +1149,78 @@ func (m *Machine) dispatch() {
 		}
 
 		// Dispatch for real.
-		ev.Dispatch = m.cycle
-		ev.Cluster = int16(dec.Cluster)
-		ev.SteerTag = dec.Tag
 		if int(dec.Tag) < len(m.steerCounts) {
 			m.steerCounts[dec.Tag]++
 		}
-		pc := m.tr.Insts[seq].PC
+		// Dispatch-time prediction sampling. Fused runs with static
+		// predictors read the per-seq memos — the same values the live
+		// lookups would produce, without the PC load or hash.
+		var memoCrit []bool
+		var memoLoC []uint8
+		if m.kern != nil {
+			memoCrit, memoLoC = m.kern.predCrit, m.kern.locLevel
+		}
+		predCrit := false
 		if m.binary != nil {
-			ev.PredCritical = m.binary.Predict(pc)
+			if memoCrit != nil {
+				predCrit = memoCrit[seq]
+			} else {
+				predCrit = m.binary.Predict(m.tr.Insts[seq].PC)
+			}
+		}
+		lvl := 0
+		if m.loc != nil {
+			if memoLoC != nil {
+				lvl = int(memoLoC[seq])
+			} else {
+				lvl = m.loc.Level(m.tr.Insts[seq].PC)
+			}
 		}
 		var prio uint16
 		switch m.cfg.SchedMode {
-		case SchedAge:
-			prio = 0
 		case SchedBinaryCritical:
-			if !ev.PredCritical {
+			if !predCrit {
 				prio = 1
 			}
 		case SchedLoC:
-			lvl := 0
-			if m.loc != nil {
-				lvl = m.loc.Level(pc)
-			}
-			ev.LoCLevel = uint8(lvl)
 			prio = uint16(predictor.LoCLevels - 1 - lvl)
 		}
-		if m.loc != nil && m.cfg.SchedMode != SchedLoC {
-			ev.LoCLevel = uint8(m.loc.Level(pc))
-		}
 
+		fetchC := ev.Fetch
+		if m.frNoReset {
+			fetchC = int64(m.fr.fetchC[seq])
+		}
+		reason, blocker := DispWidth, seq-1
 		switch {
-		case ev.Dispatch == ev.Fetch+int64(m.cfg.PipelineDepth):
-			ev.DispatchReason = DispPipeline
-			ev.DispatchBlocker = Unset
+		case m.cycle == fetchC+int64(m.cfg.PipelineDepth):
+			reason, blocker = DispPipeline, Unset
 		case m.havePending:
-			ev.DispatchReason = m.pendingReason
-			ev.DispatchBlocker = m.pendingBlocker
-		default:
-			ev.DispatchReason = DispWidth
-			ev.DispatchBlocker = seq - 1
+			reason, blocker = m.pendingReason, m.pendingBlocker
 		}
 		m.havePending = false
+
+		if m.frNoReset {
+			// Reset-elided replay: all dispatch facts ride in the fusedRun
+			// side arrays (cycle, cluster and priority via fusedEnqueue's
+			// packed state) until fusedFinalize writes the event whole.
+			m.fr.steerTg[seq] = uint8(dec.Tag)
+			m.fr.dispRsn[seq] = uint8(reason)
+			m.fr.dispBlk[seq] = int32(blocker)
+		} else {
+			ev.Dispatch = m.cycle
+			ev.Cluster = int16(dec.Cluster)
+			ev.SteerTag = dec.Tag
+			ev.PredCritical = predCrit
+			ev.LoCLevel = uint8(lvl)
+			ev.DispatchReason = reason
+			ev.DispatchBlocker = blocker
+		}
 
 		if m.oracle {
 			m.clusters[dec.Cluster].entries = append(m.clusters[dec.Cluster].entries,
 				winEntry{seq: seq, prio: prio, ready: Unset, crit: Unset})
+		} else if m.fr != nil {
+			m.fusedEnqueue(seq, dec.Cluster, prio)
 		} else {
 			m.enqueue(seq, dec.Cluster, prio)
 		}
@@ -1041,8 +1241,15 @@ func (m *Machine) setPending(reason DispatchReason, blocker int64) {
 // gatherProducers builds the steering view's producer list: one entry per
 // distinct producer of the dispatching instruction's operands.
 func (m *Machine) gatherProducers(seq int64, dst []ProducerInfo) []ProducerInfo {
+	pend := int32(0)
 	for _, p32 := range m.tr.ProducerSpan(int(seq)) {
 		p := int64(p32)
+		pev := &m.events[p]
+		// Piggybacked dispatch-pend count (raw multiplicity) for
+		// fusedEnqueue on generic fused runs; dead weight on solo runs.
+		if pev.Complete == Unset {
+			pend++
+		}
 		dup := false
 		for i := range dst {
 			if dst[i].Seq == p {
@@ -1053,7 +1260,6 @@ func (m *Machine) gatherProducers(seq int64, dst []ProducerInfo) []ProducerInfo 
 		if dup {
 			continue
 		}
-		pev := &m.events[p]
 		outstanding := pev.Complete == Unset || pev.RemoteAvail > m.cycle
 		cluster := int(pev.Cluster)
 		if m.cfg.GroupSteering && pev.Dispatch == m.cycle {
@@ -1068,12 +1274,17 @@ func (m *Machine) gatherProducers(seq int64, dst []ProducerInfo) []ProducerInfo 
 			Outstanding: outstanding,
 		})
 	}
+	m.steerPend = pend
 	return dst
 }
 
 // fetch advances the front end: up to FetchWidth instructions per cycle,
 // blocking at gshare mispredictions until the branch resolves.
 func (m *Machine) fetch() {
+	if m.frNoReset {
+		m.fusedFetch()
+		return
+	}
 	n := int64(m.tr.Len())
 	if m.nextFetch >= n || m.cycle < m.fetchResume {
 		return
@@ -1102,7 +1313,17 @@ func (m *Machine) fetch() {
 		in := &m.tr.Insts[seq]
 		if in.Op.IsBranch() {
 			m.branches++
-			if correct := m.bp.Update(in.PC, in.Taken); !correct {
+			// The shared front-end profile replays the outcome this
+			// machine's own gshare would produce (fetch consults the
+			// predictor once per branch, in program order, so outcomes are
+			// config-independent up to GshareBits; see variants.go).
+			var correct bool
+			if m.profile != nil {
+				correct = !m.profile.mispredicted(seq)
+			} else {
+				correct = m.bp.Update(in.PC, in.Taken)
+			}
+			if !correct {
 				ev.Mispredicted = true
 				m.mispredicts++
 				m.blockingBranch = seq

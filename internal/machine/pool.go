@@ -41,5 +41,9 @@ func Recycle(m *Machine) {
 	m.binary, m.loc = nil, nil
 	m.onEpoch, m.onCommitInst = nil, nil
 	m.viewBuf = SteerView{producers: m.viewBuf.producers[:0]}
+	// Fused-run state is shared across a SimulateVariants batch and can
+	// pin megabytes (the event template); never carry it into the pool.
+	m.fused, m.profile, m.soa, m.kern = false, nil, nil, nil
+	m.fr, m.frDeferred, m.frNoReset = nil, false, false
 	pool.Put(m)
 }

@@ -1,6 +1,7 @@
 package machine_test
 
 import (
+	"fmt"
 	"testing"
 
 	"clustersim/internal/critpath"
@@ -77,6 +78,65 @@ func TestRandomTracesSatisfyInvariants(t *testing.T) {
 		last := m.Events()[tr.Len()-1].Commit
 		if got := a.Breakdown.Total(); got != last {
 			t.Fatalf("trial %d: attribution %d != runtime %d", trial, got, last)
+		}
+	}
+}
+
+// TestRandomTracesVariantsMatchSolo is the cross-variant property
+// companion to TestRandomTracesSatisfyInvariants: for random programs and
+// a random mix of geometries and policies, the fused SimulateVariants run
+// must be indistinguishable — result and full event timeline — from
+// running each variant alone.
+func TestRandomTracesVariantsMatchSolo(t *testing.T) {
+	r := xrand.New(7031)
+	clusterChoices := []int{1, 2, 4, 8}
+	for trial := 0; trial < 8; trial++ {
+		tr := randomTrace(r.Fork(), 400+r.Intn(1200))
+		nvar := 2 + r.Intn(3)
+		mk := func() []machine.Variant {
+			rr := xrand.New(uint64(9000 + trial))
+			var vs []machine.Variant
+			for i := 0; i < nvar; i++ {
+				cfg := machine.NewConfig(clusterChoices[rr.Intn(len(clusterChoices))])
+				cfg.FwdLatency = 1 + rr.Intn(4)
+				if rr.Bool(0.3) {
+					cfg.BypassPerCluster = 1 + rr.Intn(2)
+				}
+				var pol machine.SteerPolicy = steer.DepBased{}
+				var hooks machine.Hooks
+				switch rr.Intn(3) {
+				case 1:
+					pol = &steer.StallOverSteer{}
+					hooks.LoC = trainedLoC(tr, uint64(100*trial+i))
+					if rr.Bool(0.5) {
+						cfg.SchedMode = machine.SchedLoC
+					}
+				case 2:
+					pol = steer.Focused{}
+					hooks.Binary = trainedBinary(tr)
+				}
+				vs = append(vs, machine.Variant{Config: cfg, Pol: pol, Hooks: hooks})
+			}
+			return vs
+		}
+		outs, _, err := machine.SimulateVariants(tr, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo := mk()
+		for i := range outs {
+			if err := machine.Check(outs[i].M); err != nil {
+				t.Fatalf("trial %d variant %d: %v", trial, i, err)
+			}
+			m, err := machine.New(solo[i].Config, tr, solo[i].Pol, solo[i].Hooks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := m.Run()
+			sameRun(t, fmt.Sprintf("trial %d variant %d", trial, i), outs[i].Res, outs[i].M.Events(), res, m.Events())
+		}
+		for _, o := range outs {
+			machine.Recycle(o.M)
 		}
 	}
 }

@@ -1,0 +1,578 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"clustersim/internal/bpred"
+	"clustersim/internal/isa"
+	"clustersim/internal/predictor"
+	"clustersim/internal/trace"
+)
+
+// This file implements SimulateVariants: fused simulation of several
+// machine configurations over one trace. The listsched package proved
+// the shape for the idealized scheduler (prepare once, replay per
+// variant, validate against a retained reference); this is the same
+// fusion for the full machine. Three kinds of work are shared or
+// specialized, each behind its own guard with a fallback counter:
+//
+//  1. Front-end profile (frontProfile). Fetch processes instructions
+//     strictly in program order and consults gshare exactly once per
+//     branch, in trace order, regardless of FetchWidth, cluster count
+//     or any timing: a misprediction stalls *when* the next branch is
+//     fetched, never *whether* or in what order. Branch outcomes
+//     therefore depend only on the trace's branch subsequence and the
+//     predictor geometry (GshareBits), so one program-order gshare pass
+//     serves every variant with the same GshareBits. The L1 is
+//     deliberately NOT shared: data-cache accesses happen at issue
+//     time, and issue order is config-dependent, so each variant keeps
+//     (and trains) its own cache. That asymmetry is the exact sharing
+//     boundary; TestFrontEndSharingBoundary pins it.
+//
+//  2. Trace SoA (traceSoA). Dense per-instruction arrays of the facts
+//     the issue loop reads per candidate (FU class, latency, op flags)
+//     plus a pre-reset event template, built once and shared read-only
+//     by every variant's replay.
+//
+//  3. Steering kernel (kernelState). Stateless policies advertise a
+//     KernelSpec; the machine then replicates their Steer decision
+//     procedure inline — no SteerView, no interface calls, no per-call
+//     map allocation — and skips their (no-op, per the Kernel contract)
+//     OnIssue/OnCommit notifications. When the variant's hooks carry no
+//     training callbacks the per-PC predictions are additionally
+//     memoized per sequence number. Stateful policies fall back to the
+//     interface path, counted in SharingStats.
+//
+// The solo wakeup loop stays behaviorally verbatim and is the oracle
+// every fused run is differentially gated against (variants_test.go),
+// with the retained full-scan loop (UseOracleIssue) behind both.
+
+// Variant describes one configuration to fuse into a SimulateVariants
+// call. Each variant must bring its own predictor instances in Hooks —
+// predictors are trained during the run, so sharing one instance across
+// variants would leak state between them (and break order invariance).
+type Variant struct {
+	Config Config
+	Pol    SteerPolicy
+	Hooks  Hooks
+	// Setup, if non-nil, runs after the variant's machine is built and
+	// bound but before Run — the hook point for binding a criticality
+	// detector to the machine.
+	Setup func(*Machine)
+}
+
+// VariantResult pairs one variant's live machine with its run summary.
+// Machines come from the shared pool; the caller owns them and should
+// Recycle each once its events are no longer needed.
+type VariantResult struct {
+	M   *Machine
+	Res Result
+}
+
+// SharingStats counts, per SimulateVariants call, how many variants ran
+// on each shared/fused facility and how many fell back. The fallbacks
+// are correctness guards, not errors: a fallback variant still produces
+// byte-identical output, just without that facility's speedup.
+type SharingStats struct {
+	// BpredShared counts variants that replayed the shared front-end
+	// profile; BpredFallback counts variants that kept a live per-variant
+	// gshare because the profile failed the sharing guard.
+	BpredShared, BpredFallback int
+	// KernelUsed counts variants steered by the inlined kernel;
+	// KernelFallback counts variants whose policy does not advertise a
+	// kernel and used the SteerPolicy interface path.
+	KernelUsed, KernelFallback int
+	// MemoUsed counts kernel variants with static predictors whose
+	// per-instruction predictions were memoized; MemoFallback counts
+	// kernel variants that kept live predictor lookups because training
+	// hooks (OnEpoch/OnCommitInst) were attached.
+	MemoUsed, MemoFallback int
+}
+
+// SimulateVariants runs every variant over tr sequentially, sharing the
+// producer index, the front-end branch profile, and the trace SoA, and
+// returns the per-variant machines and results in variant order.
+//
+// Output is byte-identical to running each variant solo (New/NewPooled +
+// Run): variants neither observe each other nor share mutable state, so
+// permuting the variant list permutes the results and nothing else. On
+// error, machines built so far are recycled and none are returned.
+func SimulateVariants(tr *trace.Trace, variants []Variant) ([]VariantResult, SharingStats, error) {
+	var stats SharingStats
+	if tr == nil || tr.Len() == 0 {
+		return nil, stats, fmt.Errorf("machine: empty trace")
+	}
+	if len(variants) == 0 {
+		return nil, stats, nil
+	}
+	tr.EnsureProducerIndex()
+	soa := sharedTraceSoA(tr)
+	profiles := map[uint]*frontProfile{}
+
+	// One packed-engine working set serves the whole batch: variants run
+	// sequentially and each Run resets it. Batches past the packed
+	// bounds (see fusedissue.go) replay on the generic fused path.
+	maxClusters := 0
+	for i := range variants {
+		if c := variants[i].Config.Clusters; c > maxClusters {
+			maxClusters = c
+		}
+	}
+	var fr *fusedRun
+	if tr.Len() <= fusedMaxInsts && maxClusters <= fusedMaxClusters {
+		fr = getFusedRun(tr.Len(), maxClusters)
+		defer putFusedRun(fr)
+	}
+
+	out := make([]VariantResult, 0, len(variants))
+	for i := range variants {
+		v := &variants[i]
+		m, err := NewPooled(v.Config, tr, v.Pol, v.Hooks)
+		if err != nil {
+			for _, r := range out {
+				Recycle(r.M)
+			}
+			return nil, stats, fmt.Errorf("machine: variant %d: %w", i, err)
+		}
+		p := profiles[v.Config.GshareBits]
+		if p == nil {
+			p = newFrontProfile(tr, v.Config.GshareBits)
+			profiles[v.Config.GshareBits] = p
+		}
+		if m.useFrontProfile(p) {
+			stats.BpredShared++
+		} else {
+			stats.BpredFallback++
+		}
+		m.fused = true
+		m.soa = soa
+		if k := buildKernel(v, soa, &stats); k != nil {
+			m.kern = k
+		}
+		if v.Setup != nil {
+			v.Setup(m)
+		}
+		m.fr = fr
+		// Defer the issue-time event writes to one sequential pass when
+		// nothing can read the event log mid-run: kernel steering (no
+		// SteerView), no training hooks, no Setup-bound detector.
+		m.frDeferred = fr != nil && m.kern != nil &&
+			v.Hooks.OnEpoch == nil && v.Hooks.OnCommitInst == nil && v.Setup == nil
+		// Elide the pre-run event clear too, and with it every mid-run
+		// event write: the stages keep fetch/dispatch/commit facts in the
+		// fusedRun side arrays and fusedFinalize materializes each event
+		// exactly once. Mispredicted is reconstructed from the shared
+		// profile, which is therefore the one extra requirement.
+		m.frNoReset = m.frDeferred && m.profile != nil
+		res := m.Run()
+		// The batch owns fr; the machine outlives the call.
+		m.fr, m.frDeferred, m.frNoReset = nil, false, false
+		out = append(out, VariantResult{M: m, Res: res})
+	}
+	return out, stats, nil
+}
+
+// frontProfile is the shared front-end replay: one program-order gshare
+// pass over the trace, recording which branches mispredict. Valid for
+// any configuration with the same GshareBits (see the sharing-contract
+// comment at the top of this file); useFrontProfile is the guard.
+type frontProfile struct {
+	bits  uint
+	insts int
+	miss  []uint64 // bitset over seq: set iff that branch mispredicted
+}
+
+// newFrontProfile trains a fresh gshare over tr's branches in program
+// order — exactly the update sequence fetch performs — and records the
+// outcome per branch.
+func newFrontProfile(tr *trace.Trace, bits uint) *frontProfile {
+	n := tr.Len()
+	p := &frontProfile{bits: bits, insts: n, miss: make([]uint64, (n+63)/64)}
+	bp := bpred.NewGshare(bits)
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		if in.Op.IsBranch() {
+			if correct := bp.Update(in.PC, in.Taken); !correct {
+				p.miss[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	return p
+}
+
+// mispredicted reports the recorded outcome for branch seq.
+func (p *frontProfile) mispredicted(seq int64) bool {
+	return p.miss[seq>>6]>>(uint64(seq)&63)&1 != 0
+}
+
+// useFrontProfile attaches p as m's branch-outcome source for the next
+// Run. It refuses — returning false, leaving the live per-variant
+// gshare in place — when p was recorded under a different predictor
+// geometry or trace than m's own, i.e. when sharing would violate the
+// front-end contract.
+func (m *Machine) useFrontProfile(p *frontProfile) bool {
+	if p == nil || p.bits != m.cfg.GshareBits || p.insts != m.tr.Len() {
+		return false
+	}
+	m.profile = p
+	return true
+}
+
+// traceSoA holds config-independent per-instruction facts in dense
+// arrays so the per-variant replays read sequential bytes instead of
+// striding through the AoS trace, plus a pre-reset event template that
+// turns the per-run event-log reset into one copy. Built once per
+// SimulateVariants call and shared read-only across variants.
+type traceSoA struct {
+	fu      []uint8 // isa.FU class per seq
+	lat     []uint16
+	flags   []uint8
+	addr    []uint64 // memory address (loads/stores; 0 otherwise)
+	pc      []uint64
+	evClear []Event // every field in its pre-simulation state
+
+	// Producer CSR (shared with the trace) plus its transpose: the
+	// consumers of p are consIdx[consOff[p]:consOff[p+1]], in program
+	// order. The packed engine walks consumers at issue time instead of
+	// registering waiters per run — the topology is a property of the
+	// trace, so it is built once here and shared by every variant.
+	prodOff, prodIdx []int32
+	consOff, consIdx []int32
+}
+
+const (
+	soaLoad uint8 = 1 << iota
+	soaStore
+	soaHasDst
+	soaBranch
+)
+
+// soaCache memoizes the last trace's SoA: sweeps and benchmarks call
+// SimulateVariants many times over one trace, and the SoA (notably its
+// event template) is the per-call setup cost. One entry suffices — a
+// different trace just rebuilds — and keying by pointer is sound
+// because the cache's own reference keeps the keyed trace alive, so its
+// address cannot be recycled for a different trace.
+var soaCache struct {
+	sync.Mutex
+	tr  *trace.Trace
+	soa *traceSoA
+}
+
+func sharedTraceSoA(tr *trace.Trace) *traceSoA {
+	soaCache.Lock()
+	defer soaCache.Unlock()
+	if soaCache.tr != tr {
+		soaCache.tr, soaCache.soa = tr, newTraceSoA(tr)
+	}
+	return soaCache.soa
+}
+
+func newTraceSoA(tr *trace.Trace) *traceSoA {
+	n := tr.Len()
+	s := &traceSoA{
+		fu:      make([]uint8, n),
+		lat:     make([]uint16, n),
+		flags:   make([]uint8, n),
+		addr:    make([]uint64, n),
+		pc:      make([]uint64, n),
+		evClear: make([]Event, n),
+	}
+	for i := range tr.Insts {
+		in := &tr.Insts[i]
+		s.fu[i] = uint8(in.Op.FU())
+		s.lat[i] = uint16(in.Op.Latency())
+		var fl uint8
+		if in.Op == isa.Load {
+			fl |= soaLoad
+		}
+		if in.Op == isa.Store {
+			fl |= soaStore
+		}
+		if in.HasDst() {
+			fl |= soaHasDst
+		}
+		if in.Op.IsBranch() {
+			fl |= soaBranch
+		}
+		s.flags[i] = fl
+		s.addr[i] = in.Addr
+		s.pc[i] = in.PC
+		s.evClear[i].reset()
+	}
+	s.prodOff, s.prodIdx = tr.ProducerIndex()
+	s.consOff = make([]int32, n+1)
+	for _, p := range s.prodIdx {
+		s.consOff[p+1]++
+	}
+	for i := 0; i < n; i++ {
+		s.consOff[i+1] += s.consOff[i]
+	}
+	s.consIdx = make([]int32, len(s.prodIdx))
+	fill := make([]int32, n)
+	for i := 0; i < n; i++ {
+		for _, p := range s.prodIdx[s.prodOff[i]:s.prodOff[i+1]] {
+			s.consIdx[s.consOff[p]+fill[p]] = int32(i)
+			fill[p]++
+		}
+	}
+	return s
+}
+
+// KernelScore selects how a steering kernel scores candidate producers,
+// mirroring the scoring closures of the steer package's stateless
+// policies.
+type KernelScore uint8
+
+const (
+	// KernelScoreNone scores every producer 0 (dependence-based
+	// steering: the first outstanding producer wins).
+	KernelScoreNone KernelScore = iota
+	// KernelScoreBinary scores 1 when the binary predictor marks the
+	// producer's PC critical (focused steering).
+	KernelScoreBinary
+	// KernelScoreLoC scores by the LoC predictor's level for the
+	// producer's PC.
+	KernelScoreLoC
+)
+
+// KernelSpec is a stateless steering policy's declarative description,
+// precise enough for the machine to replicate its Steer decision
+// procedure inline. A policy advertising a spec promises that
+//
+//   - its Steer is exactly the steer package's dependence-based
+//     skeleton (pick the best-scoring outstanding producer, first
+//     maximum wins; its cluster if there is space, else least-loaded
+//     with space, else stall) under Score — plus, when Stall is set,
+//     the stall-over-steer hold at StallThreshold, and
+//   - its OnIssue, OnCommit and Reset are no-ops,
+//
+// so the fused path may skip the interface calls entirely. The
+// differential battery enforces the promise: a spec that drifts from
+// the policy's Steer breaks byte-identity with the solo run.
+type KernelSpec struct {
+	Score KernelScore
+	// Stall enables the stall-over-steer hold: when the desired
+	// producer's cluster is full and the dispatching instruction's LoC
+	// fraction reaches StallThreshold, stall instead of load-balancing.
+	Stall          bool
+	StallThreshold float64
+}
+
+// SteerKernel is implemented by steering policies that can describe
+// themselves as a KernelSpec. Kernel returns ok=false when the policy
+// cannot currently be kernelized (SimulateVariants then falls back to
+// the interface path for that variant).
+type SteerKernel interface {
+	Kernel() (spec KernelSpec, ok bool)
+}
+
+// kernelState is one variant's resolved steering kernel: the spec plus
+// (when the variant's predictors are static for the whole run) per-seq
+// memoized predictions serving both kernel scoring and dispatch-time
+// event sampling.
+type kernelState struct {
+	spec     KernelSpec
+	predCrit []bool  // nil: consult m.binary live
+	locLevel []uint8 // nil: consult m.loc live
+}
+
+// buildKernel resolves v's steering kernel, if any, updating stats.
+// Prediction memos are only safe when nothing trains the predictors
+// during the run: kernel policies never do (no-op notifications, per
+// the KernelSpec contract), so the remaining writers are the hooks'
+// training callbacks — any of those attached forces live lookups.
+func buildKernel(v *Variant, soa *traceSoA, stats *SharingStats) *kernelState {
+	kp, ok := v.Pol.(SteerKernel)
+	if !ok {
+		stats.KernelFallback++
+		return nil
+	}
+	spec, ok := kp.Kernel()
+	if !ok {
+		stats.KernelFallback++
+		return nil
+	}
+	k := &kernelState{spec: spec}
+	stats.KernelUsed++
+	if v.Hooks.OnEpoch != nil || v.Hooks.OnCommitInst != nil {
+		stats.MemoFallback++
+		return k
+	}
+	// The memo passes read the dense PC column instead of striding
+	// through the 64-byte trace records.
+	if v.Hooks.Binary != nil {
+		k.predCrit = make([]bool, len(soa.pc))
+		for s, pc := range soa.pc {
+			k.predCrit[s] = v.Hooks.Binary.Predict(pc)
+		}
+	}
+	if v.Hooks.LoC != nil {
+		k.locLevel = make([]uint8, len(soa.pc))
+		for s, pc := range soa.pc {
+			k.locLevel[s] = uint8(v.Hooks.LoC.Level(pc))
+		}
+	}
+	stats.MemoUsed++
+	return k
+}
+
+// compactReadyPrefix removes just-issued entries from the ready lists
+// after issueMerge. The merge consumes entries only at its per-cluster
+// cursors, so everything issued this cycle lies in ready[:cursors[c]];
+// scanning only that prefix and sliding the untouched tail down is
+// order-preserving and therefore behaviorally identical to the solo
+// path's full-list scan — the full scan stays as written because the
+// solo wakeup loop is the differential oracle for fused runs.
+func (m *Machine) compactReadyPrefix() {
+	for c := range m.clusters {
+		cs := &m.clusters[c]
+		cut := m.cursors[c]
+		if cut == 0 {
+			continue
+		}
+		kept := 0
+		for i := 0; i < cut; i++ {
+			if m.events[cs.ready[i].seq].Issue == Unset {
+				cs.ready[kept] = cs.ready[i]
+				kept++
+			}
+		}
+		if kept < cut {
+			n := copy(cs.ready[kept:], cs.ready[cut:])
+			cs.ready = cs.ready[:kept+n]
+		}
+	}
+}
+
+// kernOcc is the kernel's view of cluster c's occupancy — the
+// start-of-cycle snapshot under group steering, live otherwise —
+// matching SteerView.Occupancy.
+func (m *Machine) kernOcc(c int) int {
+	if m.cfg.GroupSteering {
+		return m.occSnap[c]
+	}
+	return m.clusters[c].occ
+}
+
+// kernLeastLoaded mirrors the steer package's leastLoadedWithSpace: the
+// least-occupied cluster with window space, lowest index winning ties.
+func (m *Machine) kernLeastLoaded() (int, bool) {
+	best, bestOcc, found := 0, 0, false
+	for c := 0; c < m.cfg.Clusters; c++ {
+		occ := m.kernOcc(c)
+		if occ >= m.cfg.WindowPerCluster {
+			continue
+		}
+		if !found || occ < bestOcc {
+			best, bestOcc, found = c, occ, true
+		}
+	}
+	return best, found
+}
+
+// steerKernel is the inlined dispatch-steering fast path: it replicates
+// gatherProducers' dedup, pickDesired's first-maximum scoring and tag
+// derivation, the stall-over-steer hold, and steerDependence's
+// placement — with no producer slice, no map, and no interface calls.
+// An instruction has at most three producers (two register sources and
+// a forwarding store), so dedup and the distinct-cluster (dyadic) test
+// run over a fixed-size array.
+func (m *Machine) steerKernel(seq int64) Decision {
+	k := m.kern
+	var (
+		seen      [3]int64
+		nseen     int
+		bestScore = -1
+		bestCl    int
+		ok        bool
+		firstCl   = -1
+		multi     bool
+	)
+	group := m.cfg.GroupSteering
+	for _, p32 := range m.tr.ProducerSpan(int(seq)) {
+		p := int64(p32)
+		dup := false
+		for i := 0; i < nseen; i++ {
+			if seen[i] == p {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[nseen] = p
+		nseen++
+		pev := &m.events[p]
+		if pev.Complete != Unset && pev.RemoteAvail <= m.cycle {
+			continue // not outstanding: collocation no longer matters
+		}
+		if group && pev.Dispatch == m.cycle {
+			continue // placed this very cycle: unseen by a group-steering circuit
+		}
+		cl := int(pev.Cluster)
+		if firstCl < 0 {
+			firstCl = cl
+		} else if cl != firstCl {
+			multi = true
+		}
+		s := 0
+		switch k.spec.Score {
+		case KernelScoreBinary:
+			if k.predCrit != nil {
+				if k.predCrit[p] {
+					s = 1
+				}
+			} else if m.binary != nil && m.binary.Predict(m.tr.Insts[p].PC) {
+				s = 1
+			}
+		case KernelScoreLoC:
+			if k.locLevel != nil {
+				s = int(k.locLevel[p])
+			} else if m.loc != nil {
+				s = m.loc.Level(m.tr.Insts[p].PC)
+			}
+		}
+		if s > bestScore {
+			bestScore, bestCl, ok = s, cl, true
+		}
+	}
+	tag := SteerNoPref
+	if ok {
+		if multi {
+			tag = SteerDyadic
+		} else {
+			tag = SteerLocal
+		}
+	}
+
+	if k.spec.Stall && ok && m.kernOcc(bestCl) >= m.cfg.WindowPerCluster {
+		frac := 0.0
+		if k.locLevel != nil {
+			frac = float64(k.locLevel[seq]) / float64(predictor.LoCLevels-1)
+		} else if m.loc != nil {
+			frac = m.loc.Frac(m.tr.Insts[seq].PC)
+		}
+		if frac >= k.spec.StallThreshold {
+			return Decision{Cluster: bestCl, Stall: true, Tag: tag}
+		}
+	}
+
+	if !ok {
+		lb, space := m.kernLeastLoaded()
+		if !space {
+			return Decision{Cluster: 0, Stall: true, Tag: SteerNoPref}
+		}
+		return Decision{Cluster: lb, Tag: SteerNoPref}
+	}
+	if m.kernOcc(bestCl) < m.cfg.WindowPerCluster {
+		return Decision{Cluster: bestCl, Tag: tag}
+	}
+	lb, space := m.kernLeastLoaded()
+	if !space {
+		return Decision{Cluster: bestCl, Stall: true, Tag: tag}
+	}
+	return Decision{Cluster: lb, Tag: SteerLoadBalanced}
+}

@@ -111,6 +111,12 @@ type DepBased struct{ Base }
 // Name implements machine.SteerPolicy.
 func (DepBased) Name() string { return "depbased" }
 
+// Kernel implements machine.SteerKernel: dependence-based steering is
+// the kernel skeleton with a constant score.
+func (DepBased) Kernel() (machine.KernelSpec, bool) {
+	return machine.KernelSpec{Score: machine.KernelScoreNone}, true
+}
+
 // Steer implements machine.SteerPolicy.
 func (DepBased) Steer(v *machine.SteerView) machine.Decision {
 	return steerDependence(v, func(p machine.ProducerInfo) int { return 0 })
@@ -122,6 +128,12 @@ type Focused struct{ Base }
 
 // Name implements machine.SteerPolicy.
 func (Focused) Name() string { return "focused" }
+
+// Kernel implements machine.SteerKernel: score by the binary
+// criticality prediction of the producer's PC.
+func (Focused) Kernel() (machine.KernelSpec, bool) {
+	return machine.KernelSpec{Score: machine.KernelScoreBinary}, true
+}
 
 // Steer implements machine.SteerPolicy.
 func (Focused) Steer(v *machine.SteerView) machine.Decision {
@@ -139,6 +151,12 @@ type LoC struct{ Base }
 
 // Name implements machine.SteerPolicy.
 func (LoC) Name() string { return "loc" }
+
+// Kernel implements machine.SteerKernel: score by the producer PC's
+// likelihood-of-criticality level.
+func (LoC) Kernel() (machine.KernelSpec, bool) {
+	return machine.KernelSpec{Score: machine.KernelScoreLoC}, true
+}
 
 // Steer implements machine.SteerPolicy.
 func (LoC) Steer(v *machine.SteerView) machine.Decision {
@@ -163,6 +181,17 @@ type StallOverSteer struct {
 // Name implements machine.SteerPolicy.
 func (*StallOverSteer) Name() string { return "stall-over-steer" }
 
+// Kernel implements machine.SteerKernel: LoC scoring plus the
+// stall-over-steer hold, with the zero-value threshold resolved to
+// DefaultStallThreshold exactly as Steer resolves it.
+func (s *StallOverSteer) Kernel() (machine.KernelSpec, bool) {
+	thr := s.Threshold
+	if thr == 0 {
+		thr = DefaultStallThreshold
+	}
+	return machine.KernelSpec{Score: machine.KernelScoreLoC, Stall: true, StallThreshold: thr}, true
+}
+
 // Steer implements machine.SteerPolicy.
 func (s *StallOverSteer) Steer(v *machine.SteerView) machine.Decision {
 	thr := s.Threshold
@@ -182,4 +211,9 @@ var (
 	_ machine.SteerPolicy = Focused{}
 	_ machine.SteerPolicy = LoC{}
 	_ machine.SteerPolicy = (*StallOverSteer)(nil)
+
+	_ machine.SteerKernel = DepBased{}
+	_ machine.SteerKernel = Focused{}
+	_ machine.SteerKernel = LoC{}
+	_ machine.SteerKernel = (*StallOverSteer)(nil)
 )

@@ -73,6 +73,15 @@ func (t *Trace) ProducerSpan(i int) []int32 {
 	return t.prodIdx[t.prodOff[i]:t.prodOff[i+1]]
 }
 
+// ProducerIndex exposes the raw CSR producer index (building it if
+// needed): instruction i's producers are idx[off[i]:off[i+1]]. Callers
+// iterating spans in a hot loop use this to keep both arrays in
+// registers instead of re-chasing them through the Trace per call.
+func (t *Trace) ProducerIndex() (off, idx []int32) {
+	t.EnsureProducerIndex()
+	return t.prodOff, t.prodIdx
+}
+
 // EnsureProducerIndex builds the CSR producer index if it is missing.
 // It is not safe to call concurrently with other uses of the trace; call
 // it once before sharing a hand-assembled trace between goroutines
