@@ -1,0 +1,317 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clustersim/internal/machine"
+	"clustersim/internal/steer"
+	"clustersim/internal/trace"
+	"clustersim/internal/workload"
+)
+
+// The trace-store sweep: generation, scan and windowed-simulation
+// throughput of the chunked CTR2 path at 1M/10M/100M instructions, with
+// peak-heap evidence that memory stays bounded by the configured chunk
+// window rather than growing with trace length. Before timing anything
+// the sweep re-proves the streaming differential (streamed generation ==
+// in-memory generation; windowed simulation == sliced simulation), so a
+// regression can never hide behind a fast number.
+
+// traceBenchStage is one scale point of the sweep.
+type traceBenchStage struct {
+	Insts     int64 `json:"insts"`
+	FileBytes int64 `json:"file_bytes"`
+
+	GenSeconds     float64 `json:"gen_seconds"`
+	GenInstsPerSec float64 `json:"gen_insts_per_sec"`
+	GenPeakHeap    int64   `json:"gen_peak_heap_bytes"`
+
+	ScanSeconds     float64 `json:"scan_seconds"`
+	ScanInstsPerSec float64 `json:"scan_insts_per_sec"`
+	ScanPeakHeap    int64   `json:"scan_peak_heap_bytes"`
+
+	SimSeconds     float64 `json:"sim_seconds"`
+	SimInstsPerSec float64 `json:"sim_insts_per_sec"`
+	SimPeakHeap    int64   `json:"sim_peak_heap_bytes"`
+	SimCycles      uint64  `json:"sim_cycles"`
+	SimWindows     int     `json:"sim_windows"`
+
+	// VmHWM is the process-wide resident high-water mark (KiB, from
+	// /proc/self/status) after this stage; 0 where unsupported. It is
+	// cumulative across stages — the per-stage sampled peaks are the
+	// boundedness evidence, this is the corroborating OS view.
+	VmHWMKiB int64 `json:"vm_hwm_kib"`
+}
+
+// traceBenchReport is the BENCH_trace.json schema; CI uploads it so the
+// trace-substrate throughput trajectory is tracked per commit.
+type traceBenchReport struct {
+	Schema       string `json:"schema"`
+	GoVersion    string `json:"go_version"`
+	Bench        string `json:"bench"`
+	Seed         uint64 `json:"seed"`
+	ChunkLen     int    `json:"chunk_len"`
+	WindowChunks int    `json:"window_chunks"`
+	WindowInsts  int64  `json:"window_insts"`
+	WindowBytes  int64  `json:"window_bytes"`
+	DiffInsts    int    `json:"differential_insts"`
+
+	Stages []traceBenchStage `json:"stages"`
+}
+
+// peakHeapDuring runs fn while sampling the live heap and returns the
+// largest HeapAlloc observed (sampled at ~5ms, so short allocation
+// spikes can slip through; the sweep's stages run for seconds, which is
+// plenty of samples).
+func peakHeapDuring(fn func() error) (int64, error) {
+	var peak atomic.Int64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if h := int64(ms.HeapAlloc); h > peak.Load() {
+			peak.Store(h)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+	sample()
+	err := fn()
+	sample()
+	close(stop)
+	wg.Wait()
+	return peak.Load(), err
+}
+
+// vmHWM reads the process resident high-water mark in KiB from
+// /proc/self/status, or 0 on platforms without it.
+func vmHWM() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, _ := strconv.ParseInt(fields[0], 10, 64)
+				return kb
+			}
+		}
+	}
+	return 0
+}
+
+// traceBenchSegment is the fixed machine stack the sweep simulates
+// under: 4 clusters, dependence-based steering — the paper's baseline
+// geometry, cheap enough that trace paging (not machine bring-up)
+// dominates.
+func traceBenchSegment(int) (machine.Config, machine.SteerPolicy, machine.Hooks, error) {
+	return machine.NewConfig(4), &steer.DepBased{}, machine.Hooks{}, nil
+}
+
+// traceBenchDifferential is the pre-timing gate: the streamed path must
+// be indistinguishable from the in-memory path before its throughput
+// means anything.
+func traceBenchDifferential(bench string, insts int, seed uint64, windowInsts int64) error {
+	want, err := workload.Generate(bench, insts, seed)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "clustersim-diff-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "t.ctr")
+	if err := workload.GenerateToFile(bench, insts, seed, path, trace.WriterOptions{}); err != nil {
+		return err
+	}
+	st, err := trace.Open(path, trace.OpenOptions{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	got, err := st.Load()
+	if err != nil {
+		return err
+	}
+	if got.Len() != want.Len() {
+		return fmt.Errorf("differential: streamed %d insts, in-memory %d", got.Len(), want.Len())
+	}
+	for i := range want.Insts {
+		if got.Insts[i] != want.Insts[i] || got.Deps[i] != want.Deps[i] {
+			return fmt.Errorf("differential: instruction %d diverged between streamed and in-memory generation", i)
+		}
+	}
+	srGot, err := machine.SimulateStore(st, windowInsts, traceBenchSegment)
+	if err != nil {
+		return err
+	}
+	srWant, err := machine.SimulateSliced(want, windowInsts, traceBenchSegment)
+	if err != nil {
+		return err
+	}
+	if srGot != srWant {
+		return fmt.Errorf("differential: windowed simulation diverged:\nstreaming %+v\nin-memory %+v", srGot, srWant)
+	}
+	return nil
+}
+
+// runBenchTraceJSON executes the trace-store sweep and writes the
+// report. traceDir, when non-empty, holds the generated store files
+// (and keeps them); otherwise a temp dir is used and removed.
+func runBenchTraceJSON(path, bench string, instsCSV string, seed uint64, traceDir string, windowChunks int) error {
+	if bench == "" {
+		bench = "gcc"
+	}
+	var scales []int64
+	for _, f := range strings.Split(instsCSV, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -bench-trace-insts entry %q", f)
+		}
+		scales = append(scales, n)
+	}
+	if windowChunks <= 0 {
+		windowChunks = trace.DefaultWindowChunks
+	}
+	const chunkLen = trace.DefaultChunkLen
+	windowInsts := int64(chunkLen) // one chunk's worth of trace per machine window
+
+	if traceDir == "" {
+		dir, err := os.MkdirTemp("", "clustersim-tracebench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		traceDir = dir
+	} else if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		return err
+	}
+
+	const diffInsts = 200_000
+	fmt.Fprintf(os.Stderr, "tracebench: differential gate (%s, %d insts) ... ", bench, diffInsts)
+	if err := traceBenchDifferential(bench, diffInsts, seed, windowInsts); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "ok")
+
+	rep := traceBenchReport{
+		Schema:       "clustersim/bench-trace/v1",
+		GoVersion:    runtime.Version(),
+		Bench:        bench,
+		Seed:         seed,
+		ChunkLen:     chunkLen,
+		WindowChunks: windowChunks,
+		WindowInsts:  windowInsts,
+		DiffInsts:    diffInsts,
+	}
+
+	for _, n := range scales {
+		stage := traceBenchStage{Insts: n}
+		file := filepath.Join(traceDir, fmt.Sprintf("%s-%d.ctr", bench, n))
+
+		start := time.Now()
+		peak, err := peakHeapDuring(func() error {
+			return workload.GenerateToFile(bench, int(n), seed, file, trace.WriterOptions{ChunkLen: chunkLen})
+		})
+		if err != nil {
+			return fmt.Errorf("generate %d: %w", n, err)
+		}
+		stage.GenSeconds = time.Since(start).Seconds()
+		stage.GenInstsPerSec = float64(n) / stage.GenSeconds
+		stage.GenPeakHeap = peak
+		if fi, err := os.Stat(file); err == nil {
+			stage.FileBytes = fi.Size()
+		}
+
+		st, err := trace.Open(file, trace.OpenOptions{WindowChunks: windowChunks})
+		if err != nil {
+			return fmt.Errorf("open %d: %w", n, err)
+		}
+		rep.WindowBytes = st.WindowBytes()
+		if st.Len() < n {
+			st.Close()
+			return fmt.Errorf("store holds %d insts, requested %d", st.Len(), n)
+		}
+
+		start = time.Now()
+		var scanned int64
+		peak, err = peakHeapDuring(func() error {
+			return st.Scan(func(ch *trace.Chunk) error {
+				scanned += int64(ch.N)
+				return nil
+			})
+		})
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("scan %d: %w", n, err)
+		}
+		if scanned != st.Len() {
+			st.Close()
+			return fmt.Errorf("scan visited %d of %d insts", scanned, st.Len())
+		}
+		stage.ScanSeconds = time.Since(start).Seconds()
+		stage.ScanInstsPerSec = float64(scanned) / stage.ScanSeconds
+		stage.ScanPeakHeap = peak
+
+		start = time.Now()
+		var sr machine.StreamResult
+		peak, err = peakHeapDuring(func() error {
+			var err error
+			sr, err = machine.SimulateStore(st, windowInsts, traceBenchSegment)
+			return err
+		})
+		st.Close()
+		if err != nil {
+			return fmt.Errorf("simulate %d: %w", n, err)
+		}
+		stage.SimSeconds = time.Since(start).Seconds()
+		stage.SimInstsPerSec = float64(sr.Insts) / stage.SimSeconds
+		stage.SimPeakHeap = peak
+		stage.SimCycles = uint64(sr.Cycles)
+		stage.SimWindows = sr.Windows
+		stage.VmHWMKiB = vmHWM()
+
+		rep.Stages = append(rep.Stages, stage)
+		fmt.Fprintf(os.Stderr,
+			"tracebench %8.0fk insts: gen %6.2fs (%5.1fM/s, peak %4dMB) scan %6.2fs (%6.1fM/s, peak %4dMB) sim %7.2fs (%5.2fM/s, peak %4dMB, %d windows)\n",
+			float64(n)/1e3, stage.GenSeconds, stage.GenInstsPerSec/1e6, stage.GenPeakHeap>>20,
+			stage.ScanSeconds, stage.ScanInstsPerSec/1e6, stage.ScanPeakHeap>>20,
+			stage.SimSeconds, stage.SimInstsPerSec/1e6, stage.SimPeakHeap>>20, stage.SimWindows)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracebench: wrote %s\n", path)
+	return nil
+}

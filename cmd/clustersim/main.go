@@ -39,6 +39,14 @@
 //	               (fused 16-scenario replay vs per-scenario oracle)
 //	-bench-sched-json f  run the list-scheduler sweep and write f
 //	               (pooled fused ScheduleVariants vs reference Run)
+//	-bench-trace-json f  run the chunked trace-store sweep and write f
+//	               (generation/scan/windowed-sim throughput and peak heap
+//	               at the -bench-trace-insts scales; the streaming path is
+//	               differentially checked against the in-memory path first)
+//	-bench-trace-insts s comma-separated scales for the trace sweep
+//	               (default 1000000,10000000,100000000)
+//	-trace-dir s   keep the sweep's generated store files here
+//	-trace-window n  chunks kept resident per open trace store
 //
 // Robustness flags (see DESIGN.md "Failure model & recovery"):
 //
@@ -98,6 +106,10 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "run the machine micro-benchmark sweep (wakeup vs oracle scheduler) and write its JSON report here")
 	benchCritJSON := flag.String("bench-crit-json", "", "run the critical-path analysis sweep (fused multi-scenario replay vs per-scenario oracle) and write its JSON report here")
 	benchSchedJSON := flag.String("bench-sched-json", "", "run the list-scheduler sweep (pooled fused ScheduleVariants vs reference Run) and write its JSON report here")
+	benchTraceJSON := flag.String("bench-trace-json", "", "run the chunked trace-store sweep (generation/scan/windowed-sim throughput, peak heap) and write its JSON report here")
+	benchTraceInsts := flag.String("bench-trace-insts", "1000000,10000000,100000000", "comma-separated instruction scales for -bench-trace-json")
+	traceDir := flag.String("trace-dir", "", "directory for -bench-trace-json store files (empty: temp dir, removed after)")
+	traceWindow := flag.Int("trace-window", 0, "chunks kept resident per open trace store (0: default, currently 4 chunks of 65536 instructions)")
 	journalPath := flag.String("journal", "", "checkpoint journal path (default <cache-dir>/journal.wal when -resume is set)")
 	resume := flag.Bool("resume", false, "replay the checkpoint journal and recompute only missing results")
 	deadline := flag.Duration("deadline", 0, "cancel the whole run after this duration (0: none)")
@@ -121,11 +133,12 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	eng := engine.New(engine.Config{
-		Workers:       *jobs,
-		CacheDir:      *cacheDir,
-		MaxCacheBytes: *cacheMem * (1 << 20),
-		Metrics:       reg,
-		JobDeadline:   *jobDeadline,
+		Workers:           *jobs,
+		CacheDir:          *cacheDir,
+		MaxCacheBytes:     *cacheMem * (1 << 20),
+		Metrics:           reg,
+		JobDeadline:       *jobDeadline,
+		TraceWindowChunks: *traceWindow,
 	})
 	if err := eng.Summary().DiskErr; err != nil {
 		fmt.Fprintf(os.Stderr, "clustersim: disk cache disabled: %v\n", err)
@@ -193,6 +206,17 @@ func main() {
 	if *benchSchedJSON != "" {
 		if err := runBenchSchedJSON(*benchSchedJSON, *n, *seed, *fwd, opts.Benchmarks); err != nil {
 			fmt.Fprintln(os.Stderr, "clustersim: bench-sched-json:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchTraceJSON != "" {
+		bench := ""
+		if len(opts.Benchmarks) > 0 {
+			bench = opts.Benchmarks[0]
+		}
+		if err := runBenchTraceJSON(*benchTraceJSON, bench, *benchTraceInsts, *seed, *traceDir, *traceWindow); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim: bench-trace-json:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,13 +1,12 @@
 package engine
 
 import (
+	"bufio"
 	"bytes"
 	"container/list"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -29,6 +28,7 @@ const (
 	kindSim
 	kindAnalysis
 	kindSched
+	kindStore
 )
 
 // entry is one memory-cache slot.
@@ -36,6 +36,7 @@ type entry struct {
 	key   string
 	kind  entryKind
 	tr    *trace.Trace
+	st    *trace.Store
 	art   *Artifact
 	crit  *CritSummary
 	sched *SchedSummary
@@ -96,6 +97,16 @@ func (c *memCache) putAnalysis(key string, cs *CritSummary) {
 // analyses it is dropped (not demoted) under pressure.
 func (c *memCache) putSched(key string, ss *SchedSummary) {
 	c.put(&entry{key: key, kind: kindSched, sched: ss, cost: baseCost})
+}
+
+// putStore caches an open chunked trace store. Its resident footprint is
+// the chunk window (bounded regardless of trace length) plus, for
+// memory-backed stores, the encoded bytes themselves — the caller passes
+// that extra as resident. Evicted stores are not closed: callers may
+// still hold the handle, and a file-backed store's descriptor is owned
+// by whoever opened it.
+func (c *memCache) putStore(key string, st *trace.Store, resident int64) {
+	c.put(&entry{key: key, kind: kindStore, st: st, cost: baseCost + st.WindowBytes() + resident})
 }
 
 func (c *memCache) put(e *entry) {
@@ -250,11 +261,12 @@ func (d *diskCache) quarantine(path string) {
 	}
 }
 
-// readEntry loads and validates one framed entry. A missing file is a
-// plain miss; an I/O error is transient (counted against the budget); a
-// validation failure quarantines the file. In every case the caller
-// sees only hit-or-miss.
-func (d *diskCache) readEntry(path string, maxLen int) ([]byte, bool) {
+// readRawEntry loads one entry's raw bytes with hit-or-miss semantics:
+// a missing file is a plain miss; an I/O error is transient (counted
+// against the budget); an implausibly large file quarantines. The bytes
+// carry no integrity guarantee yet — the caller validates (CSF1 frame
+// or CTR2 self-framing) and quarantines on failure.
+func (d *diskCache) readRawEntry(path string, maxLen int) ([]byte, bool) {
 	if !d.available() {
 		return nil, false
 	}
@@ -269,6 +281,22 @@ func (d *diskCache) readEntry(path string, maxLen int) ([]byte, bool) {
 		d.fail(Transient(err))
 		return nil, false
 	}
+	if len(data) > maxLen {
+		d.quarantine(path)
+		return nil, false
+	}
+	return data, true
+}
+
+// readEntry loads and validates one CSF1-framed entry. A missing file is
+// a plain miss; an I/O error is transient (counted against the budget);
+// a validation failure quarantines the file. In every case the caller
+// sees only hit-or-miss.
+func (d *diskCache) readEntry(path string, maxLen int) ([]byte, bool) {
+	data, ok := d.readRawEntry(path, maxLen+frameHdrLen)
+	if !ok {
+		return nil, false
+	}
 	payload, err := decodeFrame(data, maxLen)
 	if err != nil {
 		d.quarantine(path)
@@ -277,14 +305,16 @@ func (d *diskCache) readEntry(path string, maxLen int) ([]byte, bool) {
 	return payload, true
 }
 
-// writeEntry persists one framed entry with retries and backoff. Write
-// failures never propagate: by the time an entry is written the computed
-// artifact is already in hand, so the worst case is a future miss.
-func (d *diskCache) writeEntry(path string, payload []byte) {
+// writeRawEntry persists one entry's bytes with retries and backoff.
+// Write failures never propagate: by the time an entry is written the
+// computed artifact is already in hand, so the worst case is a future
+// miss. The data must be self-validating (a CSF1 frame or a CTR2
+// store) — injected write faults may tear it, and the next read's
+// integrity check is the only thing that catches that.
+func (d *diskCache) writeRawEntry(path string, data []byte) {
 	if !d.available() {
 		return
 	}
-	framed := encodeFrame(payload)
 	var err error
 	for attempt := 0; attempt < writeAttempts; attempt++ {
 		if attempt > 0 {
@@ -295,13 +325,17 @@ func (d *diskCache) writeEntry(path string, payload []byte) {
 			}
 			time.Sleep(backoff)
 		}
-		if err = atomicWrite(d.dir, path, framed); err == nil {
+		if err = atomicWrite(d.dir, path, data); err == nil {
 			return
 		}
 	}
 	d.fail(Transient(err))
 }
 
+// writeEntry persists one CSF1-framed entry via writeRawEntry.
+func (d *diskCache) writeEntry(path string, payload []byte) {
+	d.writeRawEntry(path, encodeFrame(payload))
+}
 
 // resultEnvelope is the on-disk simulation-result format. The canonical
 // key is stored alongside the payload and verified on load, guarding
@@ -414,22 +448,51 @@ func (d *diskCache) storeResult(key SimKey, res machine.Result) {
 	d.writeEntry(d.resultPath(canon), payload)
 }
 
-// Trace payloads carry a key envelope before the codec stream: a uvarint
-// length plus the canonical key, verified on load like
+// Trace entries are raw CTR2 chunked stores (see internal/trace): the
+// format is self-framing — per-chunk CRC32-C, a CRC'd footer index and a
+// sealed trailer — so no outer CSF1 frame is added, and the store's meta
+// field carries the canonical key, verified on load exactly like
 // resultEnvelope.Key. (The trace's length cannot be validated against
 // TraceKey.Insts — the generators round the requested count up to block
-// boundaries.) The surrounding frame guards integrity; the key guards
-// identity.
-const maxTraceKeyLen = 4096
+// boundaries.) Entries written by older binaries (CSF1-framed CTR1
+// streams) fail the CTR2 magic check, quarantine, and recompute — the
+// established corruption path — so schemaVersion deliberately stays
+// unbumped.
+
+// decodeTraceEntry validates one raw trace entry and returns the open
+// store: CTR2 geometry and key must check out and the trace must be
+// non-empty (an empty entry is worthless and would let a truncated
+// generation masquerade as a hit forever).
+func decodeTraceEntry(data []byte, canon string, windowChunks int) (*trace.Store, error) {
+	st, err := trace.OpenBytes(data, trace.OpenOptions{WindowChunks: windowChunks})
+	if err != nil {
+		return nil, err
+	}
+	if string(st.Meta()) != canon {
+		st.Close()
+		return nil, fmt.Errorf("trace key mismatch")
+	}
+	if st.Len() == 0 {
+		st.Close()
+		return nil, fmt.Errorf("empty trace entry")
+	}
+	return st, nil
+}
 
 func (d *diskCache) loadTrace(key TraceKey) (*trace.Trace, bool) {
 	canon := key.String()
 	path := d.tracePath(canon)
-	payload, ok := d.readEntry(path, maxTracePayload)
+	data, ok := d.readRawEntry(path, maxTracePayload)
 	if !ok {
 		return nil, false
 	}
-	tr, err := decodeTracePayload(payload, canon)
+	st, err := decodeTraceEntry(data, canon, 0)
+	if err != nil {
+		d.quarantine(path)
+		return nil, false
+	}
+	defer st.Close()
+	tr, err := st.Load()
 	if err != nil {
 		d.quarantine(path)
 		return nil, false
@@ -437,37 +500,94 @@ func (d *diskCache) loadTrace(key TraceKey) (*trace.Trace, bool) {
 	return tr, true
 }
 
-// decodeTracePayload parses a frame payload into a trace, verifying the
-// embedded canonical key.
-func decodeTracePayload(payload []byte, canon string) (*trace.Trace, error) {
-	br := bytes.NewReader(payload)
-	n, err := binary.ReadUvarint(br)
-	if err != nil || n > maxTraceKeyLen {
-		return nil, fmt.Errorf("trace key header: %v", err)
-	}
-	got := make([]byte, n)
-	if _, err := io.ReadFull(br, got); err != nil || string(got) != canon {
-		return nil, fmt.Errorf("trace key mismatch")
-	}
-	tr, err := trace.Read(br)
-	if err != nil {
-		return nil, err
-	}
-	return tr, nil
-}
-
 func (d *diskCache) storeTrace(key TraceKey, tr *trace.Trace) {
 	canon := key.String()
 	var buf bytes.Buffer
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(canon)))
-	buf.Write(hdr[:n])
-	buf.WriteString(canon)
-	if err := trace.Write(&buf, tr); err != nil {
+	if err := trace.WriteStore(&buf, tr, trace.WriterOptions{Meta: []byte(canon)}); err != nil {
 		d.fail(Fatal(err))
 		return
 	}
-	d.writeEntry(d.tracePath(canon), buf.Bytes())
+	d.writeRawEntry(d.tracePath(canon), buf.Bytes())
+}
+
+// loadTraceStore opens the cached trace for key as a windowed store
+// without materializing it: chunks page in on demand, bounded by
+// windowChunks. The store reads the entry file directly (file-backed, so
+// a 100M-instruction hit costs one window of memory); validation follows
+// loadTrace's contract — bad format, torn store, key mismatch or an
+// empty trace quarantines, I/O errors count against the budget, and the
+// caller sees only hit-or-miss.
+func (d *diskCache) loadTraceStore(key TraceKey, windowChunks int) (*trace.Store, bool) {
+	if !d.available() {
+		return nil, false
+	}
+	canon := key.String()
+	path := d.tracePath(canon)
+	st, err := trace.Open(path, trace.OpenOptions{WindowChunks: windowChunks})
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false
+		}
+		if errors.Is(err, trace.ErrBadFormat) || errors.Is(err, trace.ErrTornStore) {
+			d.quarantine(path)
+		} else {
+			d.fail(Transient(err))
+		}
+		return nil, false
+	}
+	if string(st.Meta()) != canon || st.Len() == 0 {
+		st.Close()
+		d.quarantine(path)
+		return nil, false
+	}
+	return st, true
+}
+
+// createTraceStore streams a freshly generated trace straight into the
+// cache entry for key: gen appends to a chunked writer whose output runs
+// through a buffered temp file that is fsynced and renamed into place,
+// so a 100M-instruction generation never holds more than one chunk in
+// memory and a crash never leaves a torn entry (stale temps are swept on
+// open). gen's own errors propagate verbatim; I/O failures come back
+// Transient. Unlike writeRawEntry this returns its error — the caller
+// has no artifact in hand yet and must fall back to generating in
+// memory.
+func (d *diskCache) createTraceStore(key TraceKey, gen func(*trace.Writer) error) error {
+	canon := key.String()
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return Transient(err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	w, err := trace.NewWriter(bw, trace.WriterOptions{Meta: []byte(canon)})
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := gen(w); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		tmp.Close()
+		return Transient(err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return Transient(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return Transient(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return Transient(err)
+	}
+	if err := os.Rename(tmp.Name(), d.tracePath(canon)); err != nil {
+		return Transient(err)
+	}
+	return nil
 }
 
 // atomicWrite writes data to path via a temp file and rename, so a

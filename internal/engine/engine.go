@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -77,6 +78,9 @@ type Config struct {
 	// breaking determinism. Whole-run deadlines belong on the context
 	// (SetContext).
 	JobDeadline time.Duration
+	// TraceWindowChunks bounds how many trace-store chunks TraceStore
+	// keeps resident per open store; <=0 means the trace package default.
+	TraceWindowChunks int
 	// Metrics receives the engine's counters and timers; a private
 	// registry is created when nil.
 	Metrics *metrics.Registry
@@ -87,6 +91,7 @@ type Engine struct {
 	workers     int
 	met         *metrics.Registry
 	jobDeadline time.Duration
+	traceWindow int
 
 	mu       sync.Mutex
 	mem      *memCache
@@ -135,6 +140,7 @@ func New(cfg Config) *Engine {
 		workers:     workers,
 		met:         met,
 		jobDeadline: cfg.JobDeadline,
+		traceWindow: cfg.TraceWindowChunks,
 		mem:         newMemCache(maxBytes),
 		inflight:    map[string]*call{},
 
@@ -303,6 +309,118 @@ func (e *Engine) storeTrace(canon string, key TraceKey, tr *trace.Trace, persist
 	if persist && e.diskAvailable() {
 		e.disk.storeTrace(key, tr)
 	}
+}
+
+// TraceStore returns the trace for key as an open chunked store instead
+// of a materialized trace: callers page windows in via WindowTrace (see
+// machine.SimulateStore) and never hold more than
+// Config.TraceWindowChunks chunks resident, which is what makes
+// 100M-instruction runs fit in bounded memory. gen streams the
+// generation into a chunked writer; on a disk-cache hit gen never runs,
+// and the store pages straight out of the cache entry written by an
+// earlier TraceStore or Trace call (the two share one entry format).
+// Identical keys generate at most once per process.
+//
+// The returned store is shared across callers and cached; do not Close
+// it — it stays open for the life of the process (one descriptor per
+// distinct trace file).
+func (e *Engine) TraceStore(key TraceKey, gen func(*trace.Writer) error) (*trace.Store, error) {
+	return e.TraceStoreCtx(nil, key, gen)
+}
+
+// TraceStoreCtx is TraceStore with a per-submission context, with the
+// same semantics as TraceCtx: a cancelled ctx fails this submission's
+// misses fast, and a cancellation inherited from a foreign singleflight
+// leader is retried while our own context is live.
+func (e *Engine) TraceStoreCtx(ctx context.Context, key TraceKey, gen func(*trace.Writer) error) (*trace.Store, error) {
+	canon := key.String()
+	// Store handles and materialized traces are distinct cache values for
+	// one trace key, so the memory cache (and singleflight) key them apart.
+	memKey := canon + "|store"
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		if ent := e.mem.get(memKey); ent != nil {
+			e.mu.Unlock()
+			e.cTraceHit.Inc()
+			return ent.st, nil
+		}
+		e.mu.Unlock()
+
+		v, err := e.doOnce(memKey, e.cTraceHit, func() (any, error) {
+			if e.diskAvailable() {
+				if st, ok := e.disk.loadTraceStore(key, e.traceWindow); ok {
+					e.cTraceHit.Inc()
+					e.cacheStore(memKey, st, 0)
+					return st, nil
+				}
+			}
+			if err := e.checkCtx(ctx); err != nil {
+				return nil, err
+			}
+			e.cTraceMiss.Inc()
+			start := time.Now()
+			st, resident, err := e.generateStore(key, gen)
+			if err != nil {
+				return nil, err
+			}
+			e.tTrace.Observe(time.Since(start))
+			e.cacheStore(memKey, st, resident)
+			return st, nil
+		})
+		if err != nil {
+			if isCancellation(err) && e.checkCtx(ctx) == nil && attempt < maxForeignCancelRetries {
+				continue
+			}
+			return nil, err
+		}
+		return v.(*trace.Store), nil
+	}
+}
+
+// generateStore runs gen into a chunked store. With a live disk layer
+// the generation streams straight into the cache entry (bounded memory
+// end to end) and the entry is reopened file-backed; a transient I/O
+// failure there degrades to generating into memory — the cache is an
+// accelerator, never a dependency. Returns the store plus the resident
+// bytes the memory cache should charge beyond the chunk window.
+func (e *Engine) generateStore(key TraceKey, gen func(*trace.Writer) error) (*trace.Store, int64, error) {
+	if e.diskAvailable() {
+		err := e.disk.createTraceStore(key, gen)
+		if err == nil {
+			if st, ok := e.disk.loadTraceStore(key, e.traceWindow); ok {
+				return st, 0, nil
+			}
+			// Entry vanished or failed validation between write and open
+			// (another process, injected faults): fall through to memory.
+		} else if !errors.Is(err, ErrTransient) {
+			// gen itself failed; no fallback will fare better.
+			return nil, 0, err
+		}
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.WriterOptions{Meta: []byte(key.String())})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := gen(w); err != nil {
+		return nil, 0, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, 0, err
+	}
+	st, err := trace.OpenBytes(buf.Bytes(), trace.OpenOptions{WindowChunks: e.traceWindow})
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, int64(buf.Len()), nil
+}
+
+// cacheStore parks an open store in the memory cache, charged for its
+// bounded chunk window plus any memory-backed encoded bytes.
+func (e *Engine) cacheStore(memKey string, st *trace.Store, resident int64) {
+	e.mu.Lock()
+	e.mem.putStore(memKey, st, resident)
+	e.mu.Unlock()
 }
 
 // Sim returns the artifact for key, simulating with run on a cache miss.

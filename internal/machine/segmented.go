@@ -1,0 +1,162 @@
+package machine
+
+import (
+	"fmt"
+
+	"clustersim/internal/trace"
+)
+
+// Segmented simulation: running a CTR2 trace store window-at-a-time.
+//
+// The timing model's event log and producer lookups reach arbitrarily far
+// back into the trace (a consumer may wake on a producer issued millions
+// of instructions earlier), so a single pass over a 100M-instruction
+// trace would have to keep the whole trace and event log resident — the
+// exact cost the chunked store exists to avoid. Instead, SimulateStore
+// simulates the trace as a sequence of independent window samples: each
+// window is materialized as a self-contained trace (dependences recomputed
+// from a cold register file and store set, exactly trace.Rebuild of the
+// window's instruction slice), simulated in isolation, and aggregated.
+// This mirrors the paper's own methodology — its figures come from
+// detailed simulation of sampled instruction windows, not one unbroken
+// run — and makes the streaming path exactly reproducible from memory:
+// segmenting an in-memory trace the same way yields byte-identical
+// per-window results, and a window at least as long as the trace is a
+// plain whole-trace run.
+
+// SegmentFunc builds the machine stack for window segment seg: its
+// configuration, steering policy and hooks. It is called once per window,
+// in order, so predictor state hung off Hooks is per-window (cold at each
+// window start) unless the caller deliberately shares it across calls.
+type SegmentFunc func(seg int) (Config, SteerPolicy, Hooks, error)
+
+// StreamResult aggregates the per-window results of a segmented run.
+// The embedded Result sums every additive counter across windows
+// (L1MissRate is access-weighted; names come from the first window), so
+// the ratio accessors (CPI, IPC, MispredictRate, ...) read as whole-run
+// figures.
+type StreamResult struct {
+	Result
+	// Windows is the number of window segments simulated.
+	Windows int
+	// WindowInsts is the configured window length in instructions.
+	WindowInsts int64
+}
+
+// accumulate folds one window's result into the aggregate.
+func (sr *StreamResult) accumulate(r Result) {
+	if sr.Windows == 0 {
+		sr.ConfigName, sr.PolicyName = r.ConfigName, r.PolicyName
+	}
+	// Weight the miss-rate blend before the access counters move.
+	prevAcc := float64(sr.L1Accesses)
+	newAcc := float64(r.L1Accesses)
+	if prevAcc+newAcc > 0 {
+		sr.L1MissRate = (sr.L1MissRate*prevAcc + r.L1MissRate*newAcc) / (prevAcc + newAcc)
+	}
+	sr.Cycles += r.Cycles
+	sr.Insts += r.Insts
+	sr.Branches += r.Branches
+	sr.Mispredicts += r.Mispredicts
+	sr.L1Accesses += r.L1Accesses
+	sr.GlobalValues += r.GlobalValues
+	sr.SteerStallCycles += r.SteerStallCycles
+	for i := range sr.SteerCounts {
+		sr.SteerCounts[i] += r.SteerCounts[i]
+	}
+	for i := range sr.ILPAvail {
+		sr.ILPAvail[i] += r.ILPAvail[i]
+		sr.ILPIssued[i] += r.ILPIssued[i]
+	}
+	sr.Windows++
+}
+
+// WindowObserver sees each window's finished machine (with its trace
+// and event log still attached) before the machine is recycled — the
+// window-at-a-time consumption hook for the critical-path walker
+// (critpath.AnalyzeRun) and the list scheduler (listsched.FromMachineRun),
+// which both read a finished run, not a live stream. The machine is
+// recycled after the observer returns; the observer must not retain it.
+type WindowObserver func(seg int, base int64, m *Machine) error
+
+// SimulateStore runs the store's instruction stream through the machine
+// window-at-a-time with bounded memory: at any moment only one window's
+// trace, machine and event log are live (plus the store's chunk window).
+// mk builds the stack for each segment. The final short window is
+// simulated as-is; an empty store yields a zero StreamResult.
+func SimulateStore(st *trace.Store, windowInsts int64, mk SegmentFunc) (StreamResult, error) {
+	return SimulateStoreObserved(st, windowInsts, mk, nil)
+}
+
+// SimulateStoreObserved is SimulateStore with a per-window observer
+// (nil means none); an observer error aborts the run.
+func SimulateStoreObserved(st *trace.Store, windowInsts int64, mk SegmentFunc, obs WindowObserver) (StreamResult, error) {
+	var sr StreamResult
+	if windowInsts <= 0 {
+		return sr, fmt.Errorf("machine: window of %d instructions", windowInsts)
+	}
+	sr.WindowInsts = windowInsts
+	for lo := int64(0); lo < st.Len(); lo += windowInsts {
+		hi := lo + windowInsts
+		if hi > st.Len() {
+			hi = st.Len()
+		}
+		tr, err := st.WindowTrace(lo, hi)
+		if err != nil {
+			return sr, fmt.Errorf("machine: window [%d,%d): %w", lo, hi, err)
+		}
+		r, err := simulateWindow(sr.Windows, lo, tr, mk, obs)
+		if err != nil {
+			return sr, fmt.Errorf("machine: window [%d,%d): %w", lo, hi, err)
+		}
+		sr.accumulate(r)
+	}
+	return sr, nil
+}
+
+// SimulateSliced is the in-memory reference for SimulateStore: the same
+// window segmentation applied to a materialized trace (each window is
+// trace.Rebuild of the slice). The streaming differential gate pins
+// SimulateStore == SimulateSliced on identical inputs.
+func SimulateSliced(tr *trace.Trace, windowInsts int64, mk SegmentFunc) (StreamResult, error) {
+	var sr StreamResult
+	if windowInsts <= 0 {
+		return sr, fmt.Errorf("machine: window of %d instructions", windowInsts)
+	}
+	sr.WindowInsts = windowInsts
+	total := int64(tr.Len())
+	for lo := int64(0); lo < total; lo += windowInsts {
+		hi := lo + windowInsts
+		if hi > total {
+			hi = total
+		}
+		wtr := trace.Rebuild(tr.Insts[lo:hi])
+		r, err := simulateWindow(sr.Windows, lo, wtr, mk, nil)
+		if err != nil {
+			return sr, fmt.Errorf("machine: window [%d,%d): %w", lo, hi, err)
+		}
+		sr.accumulate(r)
+	}
+	return sr, nil
+}
+
+// simulateWindow runs one window trace through a pooled machine.
+func simulateWindow(seg int, base int64, tr *trace.Trace, mk SegmentFunc, obs WindowObserver) (Result, error) {
+	cfg, pol, hooks, err := mk(seg)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := NewPooled(cfg, tr, pol, hooks)
+	if err != nil {
+		return Result{}, err
+	}
+	r := m.Run()
+	if obs != nil {
+		if err := obs(seg, base, m); err != nil {
+			Recycle(m)
+			return Result{}, err
+		}
+	}
+	Recycle(m)
+	return r, nil
+}

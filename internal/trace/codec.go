@@ -5,17 +5,19 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"clustersim/internal/isa"
 )
 
-// Binary trace format:
+// Binary trace format (CTR1, the whole-trace codec; the chunked
+// streaming CTR2 store lives in ctr2.go/store.go):
 //
 //	magic   [4]byte "CTR1"
 //	count   uint64 (little endian)
-//	records count × 19 bytes:
-//	    pc    uint64
-//	    addr  uint64
+//	records count × 21 bytes:
+//	    pc    uint64 (8 bytes)
+//	    addr  uint64 (8 bytes)
 //	    src0  uint8
 //	    src1  uint8
 //	    dst   uint8
@@ -75,8 +77,10 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
 	count := binary.LittleEndian.Uint64(hdr[:])
-	const maxCount = 1 << 31
-	if count > maxCount {
+	// DepInfo and the CSR producer index address instructions with int32,
+	// so the hard ceiling is math.MaxInt32 — a count of exactly 2^31
+	// would wrap int32(len(b.tr.Insts)) in Builder.Append.
+	if count > math.MaxInt32 {
 		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
 	}
 	// Do not trust the header for the allocation size: grow as records

@@ -1,0 +1,53 @@
+package trace
+
+import "clustersim/internal/isa"
+
+// depState is the incremental dependence-annotation state shared by the
+// in-memory Builder and the streaming CTR2 Writer: the last writer of
+// every architectural register and the youngest older store to every
+// exact address. Because the state is carried forward instruction by
+// instruction, annotation is independent of how the stream is batched —
+// a Writer flushing fixed-size chunks produces exactly the DepInfo a
+// Builder produces for the same instruction sequence, including edges
+// that span chunk boundaries.
+type depState struct {
+	lastWriter [isa.NumRegs]int32
+	lastStore  map[uint64]int32 // exact address matching, as in Builder
+}
+
+// reset returns the state to "no instructions seen".
+func (ds *depState) reset() {
+	for i := range ds.lastWriter {
+		ds.lastWriter[i] = None
+	}
+	if ds.lastStore == nil {
+		ds.lastStore = make(map[uint64]int32)
+	} else {
+		clear(ds.lastStore)
+	}
+}
+
+// annotate computes instruction idx's dependences and advances the
+// state. idx is the instruction's global index in the stream.
+func (ds *depState) annotate(in *isa.Inst, idx int32) DepInfo {
+	var d DepInfo
+	d.Mem = None
+	for s := 0; s < 2; s++ {
+		d.Src[s] = None
+		if in.Src[s].Valid() {
+			d.Src[s] = ds.lastWriter[in.Src[s]]
+		}
+	}
+	switch in.Op {
+	case isa.Load:
+		if st, ok := ds.lastStore[in.Addr]; ok {
+			d.Mem = st
+		}
+	case isa.Store:
+		ds.lastStore[in.Addr] = idx
+	}
+	if in.Dst.Valid() {
+		ds.lastWriter[in.Dst] = idx
+	}
+	return d
+}

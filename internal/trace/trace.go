@@ -113,21 +113,30 @@ func (t *Trace) EnsureProducerIndex() {
 	t.prodOff, t.prodIdx = off, idx
 }
 
+// Appender is the sink side of trace construction: the in-memory
+// Builder and the streaming CTR2 Writer both satisfy it, so workload
+// generation can emit to either without knowing which. Writer reports
+// I/O failures through a sticky error checked at Close, keeping Append
+// itself error-free for the hot emit path.
+type Appender interface {
+	// Append adds one dynamic instruction to the stream.
+	Append(in isa.Inst)
+	// Len returns the number of instructions appended so far.
+	Len() int
+}
+
 // Builder incrementally constructs a Trace, computing dependence
 // annotations as instructions are appended.
 type Builder struct {
-	tr         Trace
-	lastWriter [isa.NumRegs]int32
-	lastStore  map[uint64]int32 // cache-line-free exact address matching
+	tr Trace
+	ds depState
 }
 
 // NewBuilder returns an empty Builder. capHint pre-sizes the instruction
 // storage (pass 0 if unknown).
 func NewBuilder(capHint int) *Builder {
-	b := &Builder{lastStore: make(map[uint64]int32)}
-	for i := range b.lastWriter {
-		b.lastWriter[i] = None
-	}
+	b := &Builder{}
+	b.ds.reset()
 	if capHint > 0 {
 		b.tr.Insts = make([]isa.Inst, 0, capHint)
 		b.tr.Deps = make([]DepInfo, 0, capHint)
@@ -137,26 +146,7 @@ func NewBuilder(capHint int) *Builder {
 
 // Append adds one dynamic instruction and records its dependences.
 func (b *Builder) Append(in isa.Inst) {
-	idx := int32(len(b.tr.Insts))
-	var d DepInfo
-	d.Mem = None
-	for s := 0; s < 2; s++ {
-		d.Src[s] = None
-		if in.Src[s].Valid() {
-			d.Src[s] = b.lastWriter[in.Src[s]]
-		}
-	}
-	switch in.Op {
-	case isa.Load:
-		if st, ok := b.lastStore[in.Addr]; ok {
-			d.Mem = st
-		}
-	case isa.Store:
-		b.lastStore[in.Addr] = idx
-	}
-	if in.Dst.Valid() {
-		b.lastWriter[in.Dst] = idx
-	}
+	d := b.ds.annotate(&in, int32(len(b.tr.Insts)))
 	b.tr.Insts = append(b.tr.Insts, in)
 	b.tr.Deps = append(b.tr.Deps, d)
 }

@@ -45,8 +45,8 @@ func NewSpineRib(pcBase uint64, ra *RegAlloc, spineDepth, ribLen int, ribTakenP 
 		sregs:      ra.Take(spineDepth),
 		rregs:      ra.Take(ribLen),
 		t0:         ra.Take(1)[0],
-		load:       Stream{Base: base, Size: workingSet, Stride: 8},
-		store:      Stream{Base: base + workingSet, Size: workingSet, Stride: 8},
+		load:       NewStream(base, workingSet, 8),
+		store:      NewStream(base+workingSet, workingSet, 8),
 	}
 }
 
@@ -109,8 +109,8 @@ func NewConvergent(pcBase uint64, ra *RegAlloc, chainLen int, takenP float64, wo
 		xs:       ra.Take(chainLen),
 		ys:       ra.Take(chainLen),
 		z:        ra.Take(1)[0],
-		sa:       Stream{Base: base, Size: workingSet, Stride: 8},
-		sb:       Stream{Base: base + workingSet, Size: workingSet, Stride: 8},
+		sa:       NewStream(base, workingSet, 8),
+		sb:       NewStream(base+workingSet, workingSet, 8),
 	}
 }
 
@@ -217,7 +217,7 @@ func NewDivergentLoop(pcBase uint64, ra *RegAlloc, avgIters int, workingSet uint
 		pcBase: pcBase,
 		i:      r[0], a: r[1], v: r[2], c1: r[3], c2: r[4],
 		avgIters: avgIters,
-		load:     Stream{Base: dataRegion(pcBase), Size: workingSet, Stride: 4},
+		load:     NewStream(dataRegion(pcBase), workingSet, 4),
 	}
 }
 
@@ -324,8 +324,8 @@ func NewWideChains(pcBase uint64, ra *RegAlloc, k int, mix []isa.Op, workingSet 
 		pcBase:      pcBase,
 		regs:        ra.Take(k),
 		ops:         ops,
-		load:        Stream{Base: base, Size: workingSet, Stride: 8},
-		store:       Stream{Base: base + workingSet, Size: workingSet, Stride: 8},
+		load:        NewStream(base, workingSet, 8),
+		store:       NewStream(base+workingSet, workingSet, 8),
 		reseedEvery: 8,
 		branchEvery: 6,
 	}
@@ -384,8 +384,8 @@ func NewIrregularControl(pcBase uint64, ra *RegAlloc, nBranches, chainLen int, w
 		regs:      ra.Take(chainLen),
 		biases:    biases,
 		chainLen:  chainLen,
-		load:      Stream{Base: base, Size: workingSet, Stride: 8},
-		store:     Stream{Base: base + workingSet, Size: workingSet, Stride: 16},
+		load:      NewStream(base, workingSet, 8),
+		store:     NewStream(base+workingSet, workingSet, 16),
 		loadEvery: 3,
 	}
 }

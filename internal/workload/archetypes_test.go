@@ -9,11 +9,12 @@ import (
 )
 
 func emitN(a Archetype, iters int, seed uint64) *trace.Trace {
-	e := &Emitter{b: trace.NewBuilder(0), rng: xrand.New(seed)}
+	b := trace.NewBuilder(0)
+	e := &Emitter{b: b, rng: xrand.New(seed)}
 	for i := 0; i < iters; i++ {
 		a.EmitIteration(e)
 	}
-	return e.b.Trace()
+	return b.Trace()
 }
 
 func TestConvergentShape(t *testing.T) {

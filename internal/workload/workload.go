@@ -16,7 +16,10 @@
 package workload
 
 import (
+	"bufio"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"clustersim/internal/isa"
@@ -24,10 +27,12 @@ import (
 	"clustersim/internal/xrand"
 )
 
-// Emitter appends dynamic instructions to a trace under construction. It
-// is handed to archetypes one loop iteration at a time.
+// Emitter appends dynamic instructions to a trace under construction —
+// an in-memory Builder or a streaming CTR2 Writer; archetypes are handed
+// it one loop iteration at a time and cannot tell which sink is behind
+// it.
 type Emitter struct {
-	b   *trace.Builder
+	b   trace.Appender
 	rng *xrand.Rand
 }
 
@@ -87,12 +92,23 @@ func (a *RegAlloc) Take(n int) []isa.Reg {
 
 // Stream generates sequential addresses within a wrapping region; regions
 // larger than the L1 produce capacity misses at a rate set by the region
-// size, smaller regions stay resident.
+// size, smaller regions stay resident. Use NewStream: Next computes
+// pos % Size, so a zero Size built by hand would panic mid-generation
+// with a bare divide-by-zero instead of a diagnosable error.
 type Stream struct {
 	Base   uint64
 	Size   uint64 // region size in bytes (power of two recommended)
 	Stride uint64
 	pos    uint64
+}
+
+// NewStream builds a wrapping sequential-address stream. It panics with
+// a diagnosable message if size is zero (the modulus Next divides by).
+func NewStream(base, size, stride uint64) Stream {
+	if size == 0 {
+		panic("workload: Stream with zero region size (Next computes pos % Size)")
+	}
+	return Stream{Base: base, Size: size, Stride: stride}
 }
 
 // Next returns the next address in the stream.
@@ -110,8 +126,14 @@ type Chase struct {
 	rng  *xrand.Rand
 }
 
-// NewChase builds a chase over [base, base+size) using rng.
+// NewChase builds a chase over [base, base+size) using rng. It panics
+// with a diagnosable message if the region is smaller than one 64-byte
+// line (Next draws from Size/64 lines; zero lines would panic inside
+// xrand.Uint64n mid-generation).
 func NewChase(base, size uint64, rng *xrand.Rand) *Chase {
+	if size < 64 {
+		panic(fmt.Sprintf("workload: Chase region of %d bytes holds no 64-byte lines", size))
+	}
 	return &Chase{Base: base, Size: size, rng: rng}
 }
 
@@ -155,10 +177,21 @@ func (p *Profile) Add(a Archetype, weight int) {
 // iteration is allowed to overshoot slightly). Generation is deterministic
 // given the profile's construction seed.
 func (p *Profile) Generate(n int, rng *xrand.Rand) *trace.Trace {
+	b := trace.NewBuilder(n + 64)
+	p.GenerateInto(b, n, rng)
+	return b.Trace()
+}
+
+// GenerateInto emits the same dynamic instruction stream Generate builds
+// into an arbitrary sink — a streaming CTR2 Writer for paper-scale runs
+// that never materialize the trace. The instruction sequence is a pure
+// function of (profile state, n, rng), independent of the sink, which is
+// what the streaming-vs-in-memory differential gate pins.
+func (p *Profile) GenerateInto(sink trace.Appender, n int, rng *xrand.Rand) {
 	if len(p.parts) == 0 {
 		panic("workload: profile has no archetypes")
 	}
-	e := &Emitter{b: trace.NewBuilder(n + 64), rng: rng}
+	e := &Emitter{b: sink, rng: rng}
 	for e.Len() < n {
 		for _, w := range p.parts {
 			for k := 0; k < w.weight; k++ {
@@ -172,7 +205,6 @@ func (p *Profile) Generate(n int, rng *xrand.Rand) *trace.Trace {
 			}
 		}
 	}
-	return e.b.Trace()
 }
 
 // builderFunc constructs a profile's archetypes given fresh register and
@@ -223,4 +255,54 @@ func Generate(name string, n int, seed uint64) (*trace.Trace, error) {
 		return nil, err
 	}
 	return p.Generate(n, rng), nil
+}
+
+// GenerateChunked streams the named profile's trace into w — the exact
+// instruction sequence Generate would build, emitted chunk by chunk with
+// bounded memory. The caller owns w (and its Close); GenerateChunked
+// surfaces the writer's sticky error.
+func GenerateChunked(name string, n int, seed uint64, w *trace.Writer) error {
+	p, rng, err := ByName(name, seed)
+	if err != nil {
+		return err
+	}
+	p.GenerateInto(w, n, rng)
+	return w.Err()
+}
+
+// GenerateToFile streams the named profile's trace into a sealed CTR2
+// store at path, creating it atomically (temp file + rename) so an
+// interrupted generation never leaves a half-written store behind.
+func GenerateToFile(name string, n int, seed uint64, path string, opts trace.WriterOptions) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-trace-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	w, err := trace.NewWriter(bw, opts)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := GenerateChunked(name, n, seed, w); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -1,6 +1,10 @@
 package workload
 
 import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"clustersim/internal/isa"
@@ -206,11 +210,12 @@ func TestRegAllocExhaustionPanics(t *testing.T) {
 func TestDivergentLoopExitsOncePerSearch(t *testing.T) {
 	ra := NewRegAlloc()
 	d := NewDivergentLoop(0x1000, ra, 6, residentWS)
-	e := &Emitter{b: trace.NewBuilder(0), rng: xrand.New(9)}
+	b := trace.NewBuilder(0)
+	e := &Emitter{b: b, rng: xrand.New(9)}
 	for i := 0; i < 600; i++ {
 		d.EmitIteration(e)
 	}
-	tr := e.b.Trace()
+	tr := b.Trace()
 	exits, backs := 0, 0
 	for i := range tr.Insts {
 		in := &tr.Insts[i]
@@ -243,11 +248,12 @@ func TestSpineRibSharedSource(t *testing.T) {
 	// consume the spine head register — the Figure 7 contention setup.
 	ra := NewRegAlloc()
 	s := NewSpineRib(0x2000, ra, 2, 2, 0.5, residentWS)
-	e := &Emitter{b: trace.NewBuilder(0), rng: xrand.New(1)}
+	b := trace.NewBuilder(0)
+	e := &Emitter{b: b, rng: xrand.New(1)}
 	for i := 0; i < 10; i++ {
 		s.EmitIteration(e)
 	}
-	tr := e.b.Trace()
+	tr := b.Trace()
 	// Find instructions consuming the spine head register.
 	spineHead := s.sregs[0]
 	consumers := 0
@@ -284,5 +290,128 @@ func BenchmarkGenerateVpr(b *testing.B) {
 		if _, err := Generate("vpr", 100000, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestNewStreamRejectsZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero-size stream region")
+		}
+	}()
+	NewStream(0x1000, 0, 8)
+}
+
+func TestNewChaseRejectsSubLineRegion(t *testing.T) {
+	// Size < 64 means zero whole lines: Next would feed Uint64n(0), which
+	// panics deep inside generation; construction must reject it instead.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for sub-line chase region")
+		}
+	}()
+	NewChase(0x1000, 63, xrand.New(1))
+}
+
+func TestNewChaseMinimumRegionWorks(t *testing.T) {
+	c := NewChase(0x1000, 64, xrand.New(1))
+	for i := 0; i < 10; i++ {
+		if a := c.Next(); a != 0x1000 {
+			t.Fatalf("single-line chase returned %#x", a)
+		}
+	}
+}
+
+func TestGenerateChunkedMatchesGenerate(t *testing.T) {
+	// The streaming path must emit the byte-identical instruction stream,
+	// with identical dependence annotations, as the in-memory path — on
+	// every benchmark, across chunk boundaries.
+	for _, name := range Names() {
+		want, err := Generate(name, 4000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, trace.WriterOptions{ChunkLen: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := GenerateChunked(name, 4000, 7, w); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := trace.OpenBytes(buf.Bytes(), trace.OpenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: streaming %d insts, in-memory %d", name, got.Len(), want.Len())
+		}
+		for i := range want.Insts {
+			if got.Insts[i] != want.Insts[i] {
+				t.Fatalf("%s: inst %d differs between streaming and in-memory", name, i)
+			}
+			if got.Deps[i] != want.Deps[i] {
+				t.Fatalf("%s: dep %d differs between streaming and in-memory", name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateChunkedUnknownName(t *testing.T) {
+	w, err := trace.NewWriter(io.Discard, trace.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateChunked("nope", 10, 1, w); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vpr.ctr2")
+	if err := GenerateToFile("vpr", 3000, 5, path, trace.WriterOptions{ChunkLen: 256, Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.Open(path, trace.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Generate("vpr", 3000, 5)
+	if got.Len() != want.Len() {
+		t.Fatalf("file store has %d insts, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Insts {
+		if got.Insts[i] != want.Insts[i] {
+			t.Fatalf("inst %d differs", i)
+		}
+	}
+	// No temp litter after a clean run.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries, want just the store", len(ents))
+	}
+	// Unknown benchmark must fail without creating the target file.
+	bad := filepath.Join(dir, "bad.ctr2")
+	if err := GenerateToFile("nope", 10, 1, bad, trace.WriterOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("failed generation left %s behind", bad)
 	}
 }
