@@ -37,6 +37,14 @@ type benchPoint struct {
 	VariantsNsPerRun float64 `json:"variants_ns_per_run"`
 	VariantsSpeedup  float64 `json:"variants_speedup"`
 
+	// ParallelNsPerRun is the same fused batch replayed across
+	// ReplayWorkers workers (per-variant share); ParallelSpeedup is the
+	// serial-fused over parallel-fused ratio. The parallel path is gated
+	// byte-identical to solo runs before timing, same as the serial one.
+	ReplayWorkers    int     `json:"replay_workers"`
+	ParallelNsPerRun float64 `json:"parallel_ns_per_run"`
+	ParallelSpeedup  float64 `json:"parallel_speedup"`
+
 	WakeupAllocsPerRun float64 `json:"wakeup_allocs_per_run"`
 	OracleAllocsPerRun float64 `json:"oracle_allocs_per_run"`
 	AllocRatio         float64 `json:"alloc_ratio"`
@@ -47,13 +55,15 @@ type benchPoint struct {
 // benchReport is the BENCH_machine.json schema; CI uploads it so the
 // simulator-throughput trajectory is tracked per commit.
 type benchReport struct {
-	Schema            string       `json:"schema"`
-	GoVersion         string       `json:"go_version"`
-	Insts             int          `json:"insts"`
-	Seed              uint64       `json:"seed"`
+	Schema                 string       `json:"schema"`
+	GoVersion              string       `json:"go_version"`
+	MaxProcs               int          `json:"maxprocs"`
+	Insts                  int          `json:"insts"`
+	Seed                   uint64       `json:"seed"`
 	Points                 []benchPoint `json:"points"`
 	GeomeanSpeedup         float64      `json:"geomean_speedup"`
 	GeomeanVariantsSpeedup float64      `json:"geomean_variants_speedup"`
+	GeomeanParallelSpeedup float64      `json:"geomean_parallel_speedup"`
 	GeomeanAllocRatio      float64      `json:"geomean_alloc_ratio"`
 }
 
@@ -75,11 +85,12 @@ func measure(fn func(), minRuns int, minDuration time.Duration) (nsPerRun, alloc
 }
 
 // gateVariants is the differential gate run before any fused timing: the
-// fused batch (built from fused) must produce results and per-event
-// timelines byte-identical to solo wakeup runs of the same variants
-// (built independently via solo, so neither set shares predictor state).
-func gateVariants(tr *trace.Trace, fused, solo []machine.Variant) error {
-	outs, _, err := machine.SimulateVariants(tr, fused)
+// fused batch (built from fused, replayed across workers) must produce
+// results and per-event timelines byte-identical to solo wakeup runs of
+// the same variants (built independently via solo, so neither set
+// shares predictor state).
+func gateVariants(tr *trace.Trace, fused, solo []machine.Variant, workers int) error {
+	outs, _, err := machine.SimulateVariantsOpts(tr, fused, machine.VariantsOptions{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -113,15 +124,18 @@ func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string
 	if len(benches) == 0 {
 		benches = []string{"gzip", "vpr", "gcc", "mcf"}
 	}
+	replayWorkers := runtime.NumCPU()
 	rep := benchReport{
 		Schema:    "clustersim/bench-machine/v2",
 		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
 		Insts:     insts,
 		Seed:      seed,
 	}
 	clusterList := []int{1, 2, 4}
 	logSpeed := 0.0
 	logVariants := 0.0
+	logParallel := 0.0
 	logAlloc := 0.0
 	for _, bench := range benches {
 		tr, err := workload.Generate(bench, insts, seed)
@@ -185,36 +199,52 @@ func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string
 			}
 			return vs
 		}
-		if err := gateVariants(tr, mkVariants(), mkVariants()); err != nil {
-			return fmt.Errorf("bench %s: %w", bench, err)
+		if err := gateVariants(tr, mkVariants(), mkVariants(), 1); err != nil {
+			return fmt.Errorf("bench %s (serial fused): %w", bench, err)
 		}
-		vNs, _, _ := measure(func() {
-			outs, _, err := machine.SimulateVariants(tr, mkVariants())
-			if err != nil {
-				panic(err)
-			}
-			for _, o := range outs {
-				machine.Recycle(o.M)
-			}
-		}, 3, 150*time.Millisecond)
+		if err := gateVariants(tr, mkVariants(), mkVariants(), replayWorkers); err != nil {
+			return fmt.Errorf("bench %s (parallel fused, %d workers): %w", bench, replayWorkers, err)
+		}
+		timeFused := func(workers int) float64 {
+			ns, _, _ := measure(func() {
+				outs, _, err := machine.SimulateVariantsOpts(tr, mkVariants(),
+					machine.VariantsOptions{Workers: workers})
+				if err != nil {
+					panic(err)
+				}
+				for _, o := range outs {
+					machine.Recycle(o.M)
+				}
+			}, 3, 150*time.Millisecond)
+			return ns
+		}
+		vNs := timeFused(1)
+		pNs := timeFused(replayWorkers)
 		perVariant := vNs / float64(len(clusterList))
+		perParallel := pNs / float64(len(clusterList))
 
 		for i := range pts {
 			pts[i].VariantsNsPerRun = perVariant
 			pts[i].VariantsSpeedup = pts[i].WakeupNsPerRun / perVariant
+			pts[i].ReplayWorkers = replayWorkers
+			pts[i].ParallelNsPerRun = perParallel
+			pts[i].ParallelSpeedup = vNs / pNs
 			rep.Points = append(rep.Points, pts[i])
 			logSpeed += math.Log(pts[i].Speedup)
 			logVariants += math.Log(pts[i].VariantsSpeedup)
+			logParallel += math.Log(pts[i].ParallelSpeedup)
 			logAlloc += math.Log(pts[i].AllocRatio)
-			fmt.Fprintf(os.Stderr, "bench %-6s %dx: wakeup %.1fms oracle %.1fms variants %.1fms speedup %.2fx variants %.2fx allocs %.0f vs %.0f (%.0fx)\n",
+			fmt.Fprintf(os.Stderr, "bench %-6s %dx: wakeup %.1fms oracle %.1fms variants %.1fms parallel %.1fms (%d workers) speedup %.2fx variants %.2fx parallel %.2fx allocs %.0f vs %.0f (%.0fx)\n",
 				pts[i].Bench, pts[i].Clusters, pts[i].WakeupNsPerRun/1e6, pts[i].OracleNsPerRun/1e6,
-				perVariant/1e6, pts[i].Speedup, pts[i].VariantsSpeedup,
+				perVariant/1e6, perParallel/1e6, replayWorkers, pts[i].Speedup, pts[i].VariantsSpeedup,
+				pts[i].ParallelSpeedup,
 				pts[i].WakeupAllocsPerRun, pts[i].OracleAllocsPerRun, pts[i].AllocRatio)
 		}
 	}
 	n := float64(len(rep.Points))
 	rep.GeomeanSpeedup = math.Exp(logSpeed / n)
 	rep.GeomeanVariantsSpeedup = math.Exp(logVariants / n)
+	rep.GeomeanParallelSpeedup = math.Exp(logParallel / n)
 	rep.GeomeanAllocRatio = math.Exp(logAlloc / n)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -225,7 +255,7 @@ func runBenchJSON(path string, insts int, seed uint64, fwd int, benches []string
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "geomean speedup %.2fx, geomean variants speedup %.2fx, geomean alloc ratio %.1fx -> %s\n",
-		rep.GeomeanSpeedup, rep.GeomeanVariantsSpeedup, rep.GeomeanAllocRatio, path)
+	fmt.Fprintf(os.Stderr, "geomean speedup %.2fx, geomean variants speedup %.2fx, geomean parallel speedup %.2fx (%d workers), geomean alloc ratio %.1fx -> %s\n",
+		rep.GeomeanSpeedup, rep.GeomeanVariantsSpeedup, rep.GeomeanParallelSpeedup, replayWorkers, rep.GeomeanAllocRatio, path)
 	return nil
 }

@@ -45,6 +45,16 @@ type traceBenchStage struct {
 	SimCycles      uint64  `json:"sim_cycles"`
 	SimWindows     int     `json:"sim_windows"`
 
+	// The pipelined pass: the same windowed simulation through
+	// SimulateStorePiped at the report's PipelineDepth. PipedSpeedup is
+	// serial SimSeconds over PipedSeconds; PipedPeakHeap is the
+	// boundedness evidence that in-flight windows (not trace length)
+	// govern memory.
+	PipedSeconds     float64 `json:"piped_seconds"`
+	PipedInstsPerSec float64 `json:"piped_insts_per_sec"`
+	PipedPeakHeap    int64   `json:"piped_peak_heap_bytes"`
+	PipedSpeedup     float64 `json:"piped_speedup"`
+
 	// VmHWM is the process-wide resident high-water mark (KiB, from
 	// /proc/self/status) after this stage; 0 where unsupported. It is
 	// cumulative across stages — the per-stage sampled peaks are the
@@ -57,13 +67,18 @@ type traceBenchStage struct {
 type traceBenchReport struct {
 	Schema       string `json:"schema"`
 	GoVersion    string `json:"go_version"`
+	MaxProcs     int    `json:"maxprocs"`
 	Bench        string `json:"bench"`
 	Seed         uint64 `json:"seed"`
 	ChunkLen     int    `json:"chunk_len"`
 	WindowChunks int    `json:"window_chunks"`
 	WindowInsts  int64  `json:"window_insts"`
 	WindowBytes  int64  `json:"window_bytes"`
-	DiffInsts    int    `json:"differential_insts"`
+	// PipelineDepth is the concurrent-window bound of the piped pass
+	// (max(2, GOMAXPROCS)); the piped differential and timings run at
+	// this depth.
+	PipelineDepth int `json:"pipeline_depth"`
+	DiffInsts     int `json:"differential_insts"`
 
 	Stages []traceBenchStage `json:"stages"`
 }
@@ -133,9 +148,9 @@ func traceBenchSegment(int) (machine.Config, machine.SteerPolicy, machine.Hooks,
 }
 
 // traceBenchDifferential is the pre-timing gate: the streamed path must
-// be indistinguishable from the in-memory path before its throughput
-// means anything.
-func traceBenchDifferential(bench string, insts int, seed uint64, windowInsts int64) error {
+// be indistinguishable from the in-memory path — and the pipelined
+// streamed path from both — before any throughput means anything.
+func traceBenchDifferential(bench string, insts int, seed uint64, windowInsts int64, depth int) error {
 	want, err := workload.Generate(bench, insts, seed)
 	if err != nil {
 		return err
@@ -177,6 +192,13 @@ func traceBenchDifferential(bench string, insts int, seed uint64, windowInsts in
 	if srGot != srWant {
 		return fmt.Errorf("differential: windowed simulation diverged:\nstreaming %+v\nin-memory %+v", srGot, srWant)
 	}
+	srPiped, err := machine.SimulateStorePiped(st, windowInsts, traceBenchSegment, nil, depth)
+	if err != nil {
+		return err
+	}
+	if srPiped != srWant {
+		return fmt.Errorf("differential: pipelined simulation (depth %d) diverged:\npiped %+v\nin-memory %+v", depth, srPiped, srWant)
+	}
 	return nil
 }
 
@@ -212,22 +234,29 @@ func runBenchTraceJSON(path, bench string, instsCSV string, seed uint64, traceDi
 		return err
 	}
 
+	depth := runtime.GOMAXPROCS(0)
+	if depth < 2 {
+		depth = 2
+	}
+
 	const diffInsts = 200_000
-	fmt.Fprintf(os.Stderr, "tracebench: differential gate (%s, %d insts) ... ", bench, diffInsts)
-	if err := traceBenchDifferential(bench, diffInsts, seed, windowInsts); err != nil {
+	fmt.Fprintf(os.Stderr, "tracebench: differential gate (%s, %d insts, pipeline depth %d) ... ", bench, diffInsts, depth)
+	if err := traceBenchDifferential(bench, diffInsts, seed, windowInsts, depth); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "ok")
 
 	rep := traceBenchReport{
-		Schema:       "clustersim/bench-trace/v1",
-		GoVersion:    runtime.Version(),
-		Bench:        bench,
-		Seed:         seed,
-		ChunkLen:     chunkLen,
-		WindowChunks: windowChunks,
-		WindowInsts:  windowInsts,
-		DiffInsts:    diffInsts,
+		Schema:        "clustersim/bench-trace/v1",
+		GoVersion:     runtime.Version(),
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		Bench:         bench,
+		Seed:          seed,
+		ChunkLen:      chunkLen,
+		WindowChunks:  windowChunks,
+		WindowInsts:   windowInsts,
+		PipelineDepth: depth,
+		DiffInsts:     diffInsts,
 	}
 
 	for _, n := range scales {
@@ -285,8 +314,8 @@ func runBenchTraceJSON(path, bench string, instsCSV string, seed uint64, traceDi
 			sr, err = machine.SimulateStore(st, windowInsts, traceBenchSegment)
 			return err
 		})
-		st.Close()
 		if err != nil {
+			st.Close()
 			return fmt.Errorf("simulate %d: %w", n, err)
 		}
 		stage.SimSeconds = time.Since(start).Seconds()
@@ -294,14 +323,34 @@ func runBenchTraceJSON(path, bench string, instsCSV string, seed uint64, traceDi
 		stage.SimPeakHeap = peak
 		stage.SimCycles = uint64(sr.Cycles)
 		stage.SimWindows = sr.Windows
+
+		start = time.Now()
+		var srPiped machine.StreamResult
+		peak, err = peakHeapDuring(func() error {
+			var err error
+			srPiped, err = machine.SimulateStorePiped(st, windowInsts, traceBenchSegment, nil, depth)
+			return err
+		})
+		st.Close()
+		if err != nil {
+			return fmt.Errorf("simulate piped %d: %w", n, err)
+		}
+		if srPiped != sr {
+			return fmt.Errorf("simulate piped %d: result diverged from serial pass:\npiped  %+v\nserial %+v", n, srPiped, sr)
+		}
+		stage.PipedSeconds = time.Since(start).Seconds()
+		stage.PipedInstsPerSec = float64(srPiped.Insts) / stage.PipedSeconds
+		stage.PipedPeakHeap = peak
+		stage.PipedSpeedup = stage.SimSeconds / stage.PipedSeconds
 		stage.VmHWMKiB = vmHWM()
 
 		rep.Stages = append(rep.Stages, stage)
 		fmt.Fprintf(os.Stderr,
-			"tracebench %8.0fk insts: gen %6.2fs (%5.1fM/s, peak %4dMB) scan %6.2fs (%6.1fM/s, peak %4dMB) sim %7.2fs (%5.2fM/s, peak %4dMB, %d windows)\n",
+			"tracebench %8.0fk insts: gen %6.2fs (%5.1fM/s, peak %4dMB) scan %6.2fs (%6.1fM/s, peak %4dMB) sim %7.2fs (%5.2fM/s, peak %4dMB, %d windows) piped %7.2fs (%5.2fM/s, peak %4dMB, %.2fx)\n",
 			float64(n)/1e3, stage.GenSeconds, stage.GenInstsPerSec/1e6, stage.GenPeakHeap>>20,
 			stage.ScanSeconds, stage.ScanInstsPerSec/1e6, stage.ScanPeakHeap>>20,
-			stage.SimSeconds, stage.SimInstsPerSec/1e6, stage.SimPeakHeap>>20, stage.SimWindows)
+			stage.SimSeconds, stage.SimInstsPerSec/1e6, stage.SimPeakHeap>>20, stage.SimWindows,
+			stage.PipedSeconds, stage.PipedInstsPerSec/1e6, stage.PipedPeakHeap>>20, stage.PipedSpeedup)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -100,6 +100,7 @@ func main() {
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset")
 	report := flag.String("report", "", "write a single markdown report of all experiments to this file")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+	replayWorkers := flag.Int("replay-workers", 0, "intra-job variant fan-out width (0: a per-job share of GOMAXPROCS); results are byte-identical under any value")
 	cacheDir := flag.String("cache-dir", "", "on-disk cache directory for traces and results (empty: memory only)")
 	cacheMem := flag.Int64("cache-mem", engine.DefaultMaxCacheBytes>>20, "in-memory cache budget in MiB (<0: unlimited)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -134,6 +135,7 @@ func main() {
 	reg := metrics.NewRegistry()
 	eng := engine.New(engine.Config{
 		Workers:           *jobs,
+		ReplayWorkers:     *replayWorkers,
 		CacheDir:          *cacheDir,
 		MaxCacheBytes:     *cacheMem * (1 << 20),
 		Metrics:           reg,
@@ -184,7 +186,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof on /debug/pprof)\n", addr)
 	}
 
-	opts := experiments.Options{Insts: *n, Seed: *seed, Fwd: *fwd, Engine: eng}
+	opts := experiments.Options{Insts: *n, Seed: *seed, Fwd: *fwd, Engine: eng, ReplayWorkers: *replayWorkers}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}

@@ -25,6 +25,7 @@ func serveMain(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "engine worker-pool size")
+	replayWorkers := fs.Int("replay-workers", 0, "default intra-job variant fan-out width (0: a per-job share of GOMAXPROCS); the server clamps per-job requests queue-aware")
 	cacheDir := fs.String("cache-dir", "", "on-disk cache directory (empty: memory only)")
 	cacheMem := fs.Int64("cache-mem", engine.DefaultMaxCacheBytes>>20, "in-memory cache budget in MiB (<0: unlimited)")
 	tenantsFlag := fs.String("tenants", "", `tenant fair-share weights as "name:weight,name:weight" (empty: single "default" tenant)`)
@@ -47,6 +48,7 @@ func serveMain(args []string) int {
 	reg := metrics.NewRegistry()
 	eng := engine.New(engine.Config{
 		Workers:       *jobs,
+		ReplayWorkers: *replayWorkers,
 		CacheDir:      *cacheDir,
 		MaxCacheBytes: *cacheMem * (1 << 20),
 		Metrics:       reg,

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"clustersim/internal/faultinject"
+	"clustersim/internal/machine"
 	"clustersim/internal/metrics"
 	"clustersim/internal/trace"
 )
@@ -81,6 +82,13 @@ type Config struct {
 	// TraceWindowChunks bounds how many trace-store chunks TraceStore
 	// keeps resident per open store; <=0 means the trace package default.
 	TraceWindowChunks int
+	// ReplayWorkers bounds the intra-job variant fan-out
+	// (machine.SimulateVariantsOpts workers) each simulation job may
+	// use; <=0 means a per-job share of the socket,
+	// max(1, GOMAXPROCS/Workers), so a fully loaded job pool does not
+	// oversubscribe cores. The determinism contract makes results
+	// identical under any value.
+	ReplayWorkers int
 	// Metrics receives the engine's counters and timers; a private
 	// registry is created when nil.
 	Metrics *metrics.Registry
@@ -88,10 +96,11 @@ type Config struct {
 
 // Engine executes and memoizes experiment jobs. Safe for concurrent use.
 type Engine struct {
-	workers     int
-	met         *metrics.Registry
-	jobDeadline time.Duration
-	traceWindow int
+	workers       int
+	replayWorkers int
+	met           *metrics.Registry
+	jobDeadline   time.Duration
+	traceWindow   int
 
 	mu       sync.Mutex
 	mem      *memCache
@@ -110,6 +119,8 @@ type Engine struct {
 	cInsts                               *metrics.Counter
 	cResumeRestored, cResumeHit          *metrics.Counter
 	cDeadlineMiss                        *metrics.Counter
+	cReplayBusy, cEventsElided           *metrics.Counter
+	cGridGroups, cGridShared             *metrics.Counter
 	tSim, tTrace, tAna, tSched           *metrics.Timer
 }
 
@@ -128,6 +139,13 @@ func New(cfg Config) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	replayWorkers := cfg.ReplayWorkers
+	if replayWorkers <= 0 {
+		replayWorkers = runtime.GOMAXPROCS(0) / workers
+		if replayWorkers < 1 {
+			replayWorkers = 1
+		}
+	}
 	maxBytes := cfg.MaxCacheBytes
 	if maxBytes == 0 {
 		maxBytes = DefaultMaxCacheBytes
@@ -137,12 +155,13 @@ func New(cfg Config) *Engine {
 		met = metrics.NewRegistry()
 	}
 	e := &Engine{
-		workers:     workers,
-		met:         met,
-		jobDeadline: cfg.JobDeadline,
-		traceWindow: cfg.TraceWindowChunks,
-		mem:         newMemCache(maxBytes),
-		inflight:    map[string]*call{},
+		workers:       workers,
+		replayWorkers: replayWorkers,
+		met:           met,
+		jobDeadline:   cfg.JobDeadline,
+		traceWindow:   cfg.TraceWindowChunks,
+		mem:           newMemCache(maxBytes),
+		inflight:      map[string]*call{},
 
 		cTraceHit:       met.Counter("engine.trace.hit"),
 		cTraceMiss:      met.Counter("engine.trace.miss"),
@@ -160,12 +179,17 @@ func New(cfg Config) *Engine {
 		cResumeRestored: met.Counter("engine.resume.restored"),
 		cResumeHit:      met.Counter("engine.resume.hit"),
 		cDeadlineMiss:   met.Counter("engine.job.deadline_miss"),
+		cReplayBusy:     met.Counter("engine.replay.busy_ns"),
+		cEventsElided:   met.Counter("engine.replay.events_elided"),
+		cGridGroups:     met.Counter("engine.replay.grid_groups"),
+		cGridShared:     met.Counter("engine.replay.grid_shared"),
 		tSim:            met.Timer("engine.sim.run"),
 		tTrace:          met.Timer("engine.trace.gen"),
 		tAna:            met.Timer("engine.analysis.run"),
 		tSched:          met.Timer("engine.sched.run"),
 	}
 	met.Func("engine.faults.injected", func() int64 { return faultinject.Snapshot().Total() })
+	met.Func("machine.stream.windows_in_flight", machine.StreamWindowsInFlight)
 	if cfg.CacheDir != "" {
 		e.disk, e.diskErr = newDiskCache(cfg.CacheDir, met, cfg.DiskErrorBudget)
 		if e.diskErr != nil {
@@ -183,6 +207,20 @@ func New(cfg Config) *Engine {
 
 // Workers returns the worker-pool bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// ReplayWorkers returns the intra-job variant fan-out bound (see
+// Config.ReplayWorkers).
+func (e *Engine) ReplayWorkers() int { return e.replayWorkers }
+
+// NoteReplay folds one SimulateVariants batch's sharing stats into the
+// engine's replay-layer metrics. Values are additive across batches;
+// Summary and /v1/stats read the accumulated counters.
+func (e *Engine) NoteReplay(st machine.SharingStats) {
+	e.cReplayBusy.Add(st.ReplayBusyNs)
+	e.cEventsElided.Add(st.EventsElided)
+	e.cGridGroups.Add(int64(st.GridGroups))
+	e.cGridShared.Add(int64(st.GridShared))
+}
 
 // Metrics returns the engine's registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.met }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"clustersim/internal/faultinject"
+	"clustersim/internal/machine"
 	"clustersim/internal/stats"
 )
 
@@ -62,6 +63,19 @@ type Summary struct {
 	ResumeRestored    int64
 	ResumeHits        int64
 	JobDeadlineMisses int64
+
+	// Parallel replay layer (see DESIGN.md "Parallel replay").
+	// ReplayWorkers is the configured intra-job fan-out bound;
+	// ReplayBusyNs sums wall time inside per-variant replays across
+	// replay workers; EventsElided counts event-log writes skipped by
+	// the zero-materialization path; GridGroups/GridShared count
+	// prediction-memo groups built and reuses served (fwd-grid fusion).
+	ReplayWorkers   int
+	ReplayBusyNs    int64
+	EventsElided    int64
+	GridGroups      int64
+	GridShared      int64
+	WindowsInFlight int64
 }
 
 // SimInstsPerSec is the simulated-instruction throughput of executed
@@ -114,6 +128,13 @@ func (e *Engine) Summary() Summary {
 		ResumeRestored:    e.cResumeRestored.Load(),
 		ResumeHits:        e.cResumeHit.Load(),
 		JobDeadlineMisses: e.cDeadlineMiss.Load(),
+
+		ReplayWorkers:   e.replayWorkers,
+		ReplayBusyNs:    e.cReplayBusy.Load(),
+		EventsElided:    e.cEventsElided.Load(),
+		GridGroups:      e.cGridGroups.Load(),
+		GridShared:      e.cGridShared.Load(),
+		WindowsInFlight: machine.StreamWindowsInFlight(),
 	}
 	if e.disk != nil {
 		s.DiskRetries = e.disk.cRetry.Load()
@@ -191,5 +212,9 @@ func (e *Engine) RenderSummary(w io.Writer) {
 	}
 	if s.JobDeadlineMisses > 0 {
 		fmt.Fprintf(w, "jobs over soft deadline: %d\n", s.JobDeadlineMisses)
+	}
+	if s.ReplayBusyNs > 0 || s.EventsElided > 0 || s.GridGroups > 0 {
+		fmt.Fprintf(w, "replay: %d workers/job, %.2f cpu-s busy, %d events elided, %d memo groups (%d shared)\n",
+			s.ReplayWorkers, float64(s.ReplayBusyNs)/1e9, s.EventsElided, s.GridGroups, s.GridShared)
 	}
 }

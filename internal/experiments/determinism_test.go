@@ -104,6 +104,48 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestDeterminismAcrossReplayWorkers extends the byte-identity suite to
+// the intra-job parallel replay layer: every figure must render
+// identically whether variant batches replay serially, on 2 workers, or
+// on NumCPU workers. Fresh engines per run, so nothing is served from
+// cache — the parallel fan-out really executes.
+func TestDeterminismAcrossReplayWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism suite runs every driver several times")
+	}
+	render := func(name string, run func(Options) (renderer, error), replay int) string {
+		t.Helper()
+		eng := engine.New(engine.Config{Workers: 2, ReplayWorkers: replay})
+		o := determinismOpts(eng)
+		o.ReplayWorkers = replay
+		r, err := run(o)
+		if err != nil {
+			t.Fatalf("%s (replay=%d): %v", name, replay, err)
+		}
+		var buf bytes.Buffer
+		r.Render(&buf)
+		return buf.String()
+	}
+	// figure4 and figure14 run the full stack sweeps through
+	// simVariants — the batched path the fan-out parallelizes.
+	for _, d := range determinismDrivers {
+		if d.name != "figure4" && d.name != "figure14" {
+			continue
+		}
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			t.Parallel()
+			serial := render(d.name, d.run, 1)
+			for _, replay := range []int{2, runtime.NumCPU() + 1} {
+				if got := render(d.name, d.run, replay); got != serial {
+					t.Errorf("replay workers %d render differs from serial:\n--- serial\n%s\n--- replay=%d\n%s",
+						replay, serial, replay, got)
+				}
+			}
+		})
+	}
+}
+
 // TestSharedEngineCacheHits is the cross-figure dedup acceptance check:
 // running the drivers on ONE engine must serve some simulations from
 // cache (Figures 4, 5 and 14 share focused-stack runs; Figure 8 and

@@ -58,6 +58,12 @@ type Options struct {
 	// a server engine cancels alone). Nil means no per-run cancellation;
 	// the engine-wide context from engine.SetContext still applies.
 	Ctx context.Context
+	// ReplayWorkers overrides the engine's intra-job variant fan-out
+	// bound for this run (machine.SimulateVariantsOpts workers); <=0
+	// uses engine.ReplayWorkers(). Results are byte-identical under any
+	// value — this is purely a throughput/scheduling knob, which is why
+	// it never enters cache keys.
+	ReplayWorkers int
 }
 
 // defaultEngine serves Options with no explicit engine, so library
@@ -342,13 +348,30 @@ func simVariants(opts Options, bench string, clustersList []int, stack Stack, tr
 			}
 			variants[j] = v
 		}
-		outs, _, err := machine.SimulateVariants(tr, variants)
+		// Fan the per-variant replays out over the engine's per-job
+		// worker share (results are order-stitched and byte-identical
+		// under any fan-out), and skip event-log materialization when
+		// the caller keeps only Results — the NewResultArtifact case.
+		eng := opts.engine()
+		workers := opts.ReplayWorkers
+		if workers <= 0 {
+			workers = eng.ReplayWorkers()
+		}
+		keepMachine := need&engine.NeedMachine != 0
+		// ResultOnly is safe even when NeedExact is set: exact tracking
+		// rides on a detector (Setup != nil), which makes those variants
+		// elide-ineligible per-variant inside the machine layer.
+		outs, stats, err := machine.SimulateVariantsOpts(tr, variants, machine.VariantsOptions{
+			Workers:    workers,
+			ResultOnly: !keepMachine,
+		})
 		if err != nil {
 			return nil, err
 		}
+		eng.NoteReplay(stats)
 		arts := make([]*engine.Artifact, len(miss))
 		for j := range outs {
-			arts[j] = artifactFor(outs[j].M, outs[j].Res, setups[j].exact, need&engine.NeedMachine != 0)
+			arts[j] = artifactFor(outs[j].M, outs[j].Res, setups[j].exact, keepMachine)
 		}
 		return arts, nil
 	})

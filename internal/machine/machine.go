@@ -123,9 +123,9 @@ type Machine struct {
 	candBuf   []candidate
 	viewBuf   SteerView
 	retireBuf RetireView
-	occSnap []int // start-of-cycle occupancies (GroupSteering)
-	budgets []issueBudget
-	cursors []int // per-cluster ready-list cursors (issueMerge)
+	occSnap   []int // start-of-cycle occupancies (GroupSteering)
+	budgets   []issueBudget
+	cursors   []int // per-cluster ready-list cursors (issueMerge)
 
 	// readyCount[c] is the number of data-ready-but-unissued entries in
 	// cluster c's window as of this cycle's issue phase. Steering runs
@@ -167,6 +167,13 @@ type Machine struct {
 	fr         *fusedRun
 	frDeferred bool
 	frNoReset  bool
+	// elide is the zero-materialization result path: the event log is
+	// never allocated, cleared, or finalized. Only legal on top of
+	// frNoReset (every mid-run event read already routes to the fused
+	// side arrays) for callers that consume the Result and nothing else;
+	// Events() returns an empty slice. Set before Reinit via the
+	// variants replay path, cleared by Recycle.
+	elide bool
 }
 
 type clusterState struct {
@@ -254,7 +261,12 @@ func (m *Machine) Reinit(cfg Config, tr *trace.Trace, pol SteerPolicy, hooks Hoo
 	m.fused, m.profile, m.soa, m.kern = false, nil, nil, nil
 	m.fr, m.frDeferred, m.frNoReset = nil, false, false
 
-	if n := tr.Len(); cap(m.events) >= n {
+	if m.elide {
+		// Zero-materialization replay: nothing reads the event log, so
+		// it is never allocated (cold machines) or resliced to length
+		// (warm ones) — the guarded stages index it only when non-elided.
+		m.events = m.events[:0]
+	} else if n := tr.Len(); cap(m.events) >= n {
 		m.events = m.events[:n]
 	} else {
 		m.events = make([]Event, n)
@@ -341,7 +353,9 @@ func (m *Machine) Config() Config { return m.cfg }
 // Trace returns the trace the machine executes.
 func (m *Machine) Trace() *trace.Trace { return m.tr }
 
-// Events returns the per-instruction event records. Valid after Run.
+// Events returns the per-instruction event records. Valid after Run,
+// except on zero-materialization replays (VariantsOptions.ResultOnly),
+// which never materialize the log and return an empty slice.
 func (m *Machine) Events() []Event { return m.events }
 
 // Result summarizes one run.
@@ -412,7 +426,7 @@ func (m *Machine) Run() Result {
 			}
 		}
 	}
-	if m.frDeferred {
+	if m.frDeferred && !m.elide {
 		m.fusedFinalize()
 	}
 	missRate, accesses := m.l1.MissRate()
@@ -1101,15 +1115,21 @@ func (m *Machine) dispatch() {
 	}
 	for w := 0; w < m.cfg.DispatchWidth && m.dispHead < n; w++ {
 		seq := m.dispHead
-		ev := &m.events[seq]
+		// Reset-elided replays never touch the event log here (it may not
+		// even be allocated under elide): the fetched test uses the
+		// in-order fetch cursor and the side-array fetch cycle, and the
+		// fetch cycle for the pipeline-latency test below comes from the
+		// same side array.
+		var fetchC int64
 		if m.frNoReset {
-			// Reset-elided replay: the fetched test uses the in-order
-			// fetch cursor and the side-array fetch cycle; the event log
-			// is untouched until fusedFinalize.
-			if seq >= m.nextFetch || int64(m.fr.fetchC[seq])+int64(m.cfg.PipelineDepth) > m.cycle {
+			if seq >= m.nextFetch {
 				break
 			}
-		} else if ev.Fetch == Unset || ev.Fetch+int64(m.cfg.PipelineDepth) > m.cycle {
+			fetchC = int64(m.fr.fetchC[seq])
+		} else {
+			fetchC = m.events[seq].Fetch
+		}
+		if fetchC == Unset || fetchC+int64(m.cfg.PipelineDepth) > m.cycle {
 			break // not yet delivered by the front end
 		}
 		if m.dispatched-m.commitIdx >= int64(m.cfg.ROBSize) {
@@ -1186,10 +1206,6 @@ func (m *Machine) dispatch() {
 			prio = uint16(predictor.LoCLevels - 1 - lvl)
 		}
 
-		fetchC := ev.Fetch
-		if m.frNoReset {
-			fetchC = int64(m.fr.fetchC[seq])
-		}
 		reason, blocker := DispWidth, seq-1
 		switch {
 		case m.cycle == fetchC+int64(m.cfg.PipelineDepth):
@@ -1207,6 +1223,7 @@ func (m *Machine) dispatch() {
 			m.fr.dispRsn[seq] = uint8(reason)
 			m.fr.dispBlk[seq] = int32(blocker)
 		} else {
+			ev := &m.events[seq]
 			ev.Dispatch = m.cycle
 			ev.Cluster = int16(dec.Cluster)
 			ev.SteerTag = dec.Tag

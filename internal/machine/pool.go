@@ -18,8 +18,18 @@ var pool = sync.Pool{New: func() any { return new(Machine) }}
 // capacities fit. Call Recycle when done with the machine and everything
 // reachable from it (Events, Trace).
 func NewPooled(cfg Config, tr *trace.Trace, pol SteerPolicy, hooks Hooks) (*Machine, error) {
+	return newPooledOpt(cfg, tr, pol, hooks, false)
+}
+
+// newPooledOpt is NewPooled with the zero-materialization switch: when
+// elide is set the machine never allocates its event log (Reinit keeps
+// it empty). Only the variants replay path sets it, and only for
+// variants whose whole run is proven event-log-free (frNoReset).
+func newPooledOpt(cfg Config, tr *trace.Trace, pol SteerPolicy, hooks Hooks, elide bool) (*Machine, error) {
 	m := pool.Get().(*Machine)
+	m.elide = elide
 	if err := m.Reinit(cfg, tr, pol, hooks); err != nil {
+		m.elide = false
 		pool.Put(m)
 		return nil, err
 	}
@@ -45,5 +55,6 @@ func Recycle(m *Machine) {
 	// pin megabytes (the event template); never carry it into the pool.
 	m.fused, m.profile, m.soa, m.kern = false, nil, nil, nil
 	m.fr, m.frDeferred, m.frNoReset = nil, false, false
+	m.elide = false
 	pool.Put(m)
 }

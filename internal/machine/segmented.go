@@ -2,6 +2,8 @@ package machine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"clustersim/internal/trace"
 )
@@ -112,6 +114,153 @@ func SimulateStoreObserved(st *trace.Store, windowInsts int64, mk SegmentFunc, o
 		sr.accumulate(r)
 	}
 	return sr, nil
+}
+
+// streamInFlight tracks window simulations currently live across every
+// pipelined run in the process: materialized but not yet aggregated.
+// Exported through StreamWindowsInFlight for the metrics layer.
+var streamInFlight atomic.Int64
+
+// StreamWindowsInFlight returns the number of streaming windows
+// currently in flight (materialized, queued, simulating, or awaiting
+// ordered aggregation) across all pipelined runs in the process.
+func StreamWindowsInFlight() int64 { return streamInFlight.Load() }
+
+// streamJob is one window moving through the pipelined store run.
+type streamJob struct {
+	seg    int
+	lo, hi int64
+	tr     *trace.Trace
+	cfg    Config
+	pol    SteerPolicy
+	hooks  Hooks
+	m      *Machine
+	res    Result
+	err    error
+	done   chan struct{} // closed when simulated (or failed at the feeder)
+}
+
+// SimulateStorePiped is SimulateStoreObserved with a read-ahead decode
+// stage feeding up to depth concurrent window simulations. Aggregation
+// is strictly ordered: windows are enqueued on an order-preserving
+// queue as they are decoded, and the caller's goroutine folds results
+// into the StreamResult — and delivers observer calls — in window order,
+// waiting on each window's completion in turn. Output and observer call
+// order are therefore byte-identical to the serial path under any depth
+// and any GOMAXPROCS. depth <= 1 runs the serial path.
+//
+// The feeder calls mk once per window, in order, before simulating that
+// window — same order as the serial path, but ahead of earlier windows'
+// observer calls. Segments must therefore be independent (the
+// SegmentFunc contract's cold-start-per-window default); a caller that
+// deliberately threads state across windows through mk or its hooks
+// must use the serial path.
+//
+// Memory stays window-bounded: at most depth windows sit decoded in the
+// read-ahead queue, depth simulate, and depth await aggregation, so the
+// peak heap scales with depth — never with trace length.
+func SimulateStorePiped(st *trace.Store, windowInsts int64, mk SegmentFunc, obs WindowObserver, depth int) (StreamResult, error) {
+	if depth <= 1 {
+		return SimulateStoreObserved(st, windowInsts, mk, obs)
+	}
+	var sr StreamResult
+	if windowInsts <= 0 {
+		return sr, fmt.Errorf("machine: window of %d instructions", windowInsts)
+	}
+	sr.WindowInsts = windowInsts
+
+	jobs := make(chan *streamJob, depth)  // read-ahead buffer feeding the workers
+	order := make(chan *streamJob, depth) // aggregation order (feeder enqueue order)
+	stop := make(chan struct{})           // closed by the aggregator on first error
+
+	// Feeder: builds each window's stack (mk, in segment order) and
+	// materializes its trace, then hands the job to both queues. A
+	// feeder-side error is delivered in order like any other window.
+	go func() {
+		defer close(jobs)
+		defer close(order)
+		seg := 0
+		for lo := int64(0); lo < st.Len(); lo += windowInsts {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hi := lo + windowInsts
+			if hi > st.Len() {
+				hi = st.Len()
+			}
+			j := &streamJob{seg: seg, lo: lo, hi: hi, done: make(chan struct{})}
+			j.cfg, j.pol, j.hooks, j.err = mk(seg)
+			if j.err == nil {
+				j.tr, j.err = st.WindowTrace(lo, hi)
+			}
+			streamInFlight.Add(1)
+			if j.err != nil {
+				close(j.done) // never reaches a worker
+				order <- j
+				return
+			}
+			order <- j
+			jobs <- j
+			seg++
+		}
+	}()
+
+	// Workers: simulate windows as they decode, out of order.
+	var wg sync.WaitGroup
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				j.m, j.res, j.err = simulateStreamJob(j)
+				close(j.done)
+			}
+		}()
+	}
+
+	// Ordered aggregation on the caller's goroutine: the accumulate fold
+	// and the observer both see windows in exactly serial order.
+	var firstErr error
+	for j := range order {
+		<-j.done
+		if firstErr == nil && j.err != nil {
+			firstErr = fmt.Errorf("machine: window [%d,%d): %w", j.lo, j.hi, j.err)
+			close(stop)
+		}
+		if firstErr == nil {
+			sr.accumulate(j.res)
+			if obs != nil {
+				if err := obs(j.seg, j.lo, j.m); err != nil {
+					firstErr = err
+					close(stop)
+				}
+			}
+		}
+		Recycle(j.m) // Recycle(nil) is a no-op
+		j.m = nil
+		streamInFlight.Add(-1)
+	}
+	wg.Wait()
+	return sr, firstErr
+}
+
+// simulateStreamJob runs one decoded window through a pooled machine,
+// keeping the machine alive for the ordered observer stage. Panics are
+// contained as the window's error: a crash on a worker goroutine would
+// otherwise escape the engine's per-job recovery.
+func simulateStreamJob(j *streamJob) (m *Machine, res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("machine: window replay panicked: %v", r)
+		}
+	}()
+	m, err = NewPooled(j.cfg, j.tr, j.pol, j.hooks)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return m, m.Run(), nil
 }
 
 // SimulateSliced is the in-memory reference for SimulateStore: the same

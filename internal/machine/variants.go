@@ -3,6 +3,8 @@ package machine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"clustersim/internal/bpred"
 	"clustersim/internal/isa"
@@ -88,17 +90,76 @@ type SharingStats struct {
 	// kernel variants that kept live predictor lookups because training
 	// hooks (OnEpoch/OnCommitInst) were attached.
 	MemoUsed, MemoFallback int
+	// GridGroups counts distinct prediction memos built for the batch
+	// (one per distinct predictor state); GridShared counts memo
+	// attachments served from an already-built group instead of a fresh
+	// O(n) prediction pass — the forwarding-latency grid fusion win,
+	// since fwd-axis variants share geometry, stack and predictor state.
+	GridGroups, GridShared int
+	// EventsElided counts per-instruction event-log writes skipped by
+	// zero-materialization replays (VariantsOptions.ResultOnly): one per
+	// instruction per elided variant.
+	EventsElided int64
+	// ReplayWorkers is the worker count the replay phase ran with;
+	// ReplayBusyNs sums wall time spent inside per-variant replays
+	// across those workers (busy / elapsed ≈ achieved parallelism).
+	ReplayWorkers int
+	ReplayBusyNs  int64
+}
+
+// VariantsOptions tunes how SimulateVariants replays a prepared batch.
+// The zero value reproduces the serial reference path exactly.
+type VariantsOptions struct {
+	// Workers bounds the replay fan-out: after the shared prepare
+	// (producer CSR, SoA columns, branch profiles, steering kernels),
+	// per-variant replays are stolen off a shared cursor by this many
+	// workers, each owning its own pooled packed-engine state. Results
+	// are stitched in input order, so output is byte-identical to the
+	// serial path under any worker count. <=1 means serial.
+	Workers int
+	// ResultOnly declares that the caller consumes only each variant's
+	// Result (never Events): eligible variants skip event-log
+	// materialization entirely — no allocation, no clear, no finalize
+	// pass. Eligibility is per-variant and exactly the frNoReset
+	// predicate; ineligible variants still materialize, so the option is
+	// always safe. Elided machines return empty Events().
+	ResultOnly bool
 }
 
 // SimulateVariants runs every variant over tr sequentially, sharing the
 // producer index, the front-end branch profile, and the trace SoA, and
-// returns the per-variant machines and results in variant order.
+// returns the per-variant machines and results in variant order. It is
+// the serial reference for SimulateVariantsOpts.
 //
 // Output is byte-identical to running each variant solo (New/NewPooled +
 // Run): variants neither observe each other nor share mutable state, so
 // permuting the variant list permutes the results and nothing else. On
 // error, machines built so far are recycled and none are returned.
 func SimulateVariants(tr *trace.Trace, variants []Variant) ([]VariantResult, SharingStats, error) {
+	return SimulateVariantsOpts(tr, variants, VariantsOptions{})
+}
+
+// variantPrep is the serial prepare phase's output for one variant:
+// everything the replay needs that is shared, deterministic, or must be
+// computed in variant order (memo grouping).
+type variantPrep struct {
+	profile *frontProfile
+	kern    *kernelState
+	// noReset records, ahead of machine construction, whether the replay
+	// will run fully event-log-free (the frNoReset predicate): packed
+	// engine admitted, kernel steering, no training hooks, no Setup,
+	// shareable branch profile. Under ResultOnly this is exactly the
+	// zero-materialization eligibility.
+	noReset bool
+}
+
+// SimulateVariantsOpts is SimulateVariants with a bounded parallel
+// replay phase and the zero-materialization result path. The prepare
+// phase (CSR, SoA, branch profiles, kernels, memo grouping) always runs
+// serially in variant order, so SharingStats and all shared state are
+// identical under any worker count; replays share nothing mutable, so
+// results are byte-identical to the serial path regardless of Workers.
+func SimulateVariantsOpts(tr *trace.Trace, variants []Variant, opt VariantsOptions) ([]VariantResult, SharingStats, error) {
 	var stats SharingStats
 	if tr == nil || tr.Len() == 0 {
 		return nil, stats, fmt.Errorf("machine: empty trace")
@@ -108,69 +169,176 @@ func SimulateVariants(tr *trace.Trace, variants []Variant) ([]VariantResult, Sha
 	}
 	tr.EnsureProducerIndex()
 	soa := sharedTraceSoA(tr)
-	profiles := map[uint]*frontProfile{}
 
-	// One packed-engine working set serves the whole batch: variants run
-	// sequentially and each Run resets it. Batches past the packed
-	// bounds (see fusedissue.go) replay on the generic fused path.
+	// Packed-engine admission (see fusedissue.go): batches past the
+	// bounds replay on the generic fused path.
 	maxClusters := 0
 	for i := range variants {
 		if c := variants[i].Config.Clusters; c > maxClusters {
 			maxClusters = c
 		}
 	}
-	var fr *fusedRun
-	if tr.Len() <= fusedMaxInsts && maxClusters <= fusedMaxClusters {
-		fr = getFusedRun(tr.Len(), maxClusters)
-		defer putFusedRun(fr)
-	}
+	packed := tr.Len() <= fusedMaxInsts && maxClusters <= fusedMaxClusters
 
-	out := make([]VariantResult, 0, len(variants))
+	// Prepare phase: profiles per predictor geometry, kernels with
+	// cross-variant memo sharing, eligibility flags — all serial.
+	profiles := map[uint]*frontProfile{}
+	preps := make([]variantPrep, len(variants))
+	var bank memoBank
 	for i := range variants {
 		v := &variants[i]
-		m, err := NewPooled(v.Config, tr, v.Pol, v.Hooks)
-		if err != nil {
-			for _, r := range out {
-				Recycle(r.M)
-			}
-			return nil, stats, fmt.Errorf("machine: variant %d: %w", i, err)
-		}
 		p := profiles[v.Config.GshareBits]
 		if p == nil {
 			p = newFrontProfile(tr, v.Config.GshareBits)
 			profiles[v.Config.GshareBits] = p
 		}
-		if m.useFrontProfile(p) {
+		preps[i].profile = p
+		// The profile sharing guard, evaluated here so the stats are a
+		// pure function of the prepare phase (useFrontProfile re-checks
+		// the same predicate when attaching).
+		if p.bits == v.Config.GshareBits && p.insts == tr.Len() {
 			stats.BpredShared++
 		} else {
 			stats.BpredFallback++
 		}
-		m.fused = true
-		m.soa = soa
-		if k := buildKernel(v, soa, &stats); k != nil {
-			m.kern = k
+		preps[i].kern = buildKernel(v, soa, &stats, &bank)
+		hookFree := v.Hooks.OnEpoch == nil && v.Hooks.OnCommitInst == nil && v.Setup == nil
+		// The profile guard (useFrontProfile) is deterministic from the
+		// config and trace alone; profiles built here always pass it.
+		preps[i].noReset = packed && preps[i].kern != nil && hookFree
+		if opt.ResultOnly && preps[i].noReset {
+			stats.EventsElided += int64(tr.Len())
 		}
-		if v.Setup != nil {
-			v.Setup(m)
+	}
+
+	workers := opt.Workers
+	if workers > len(variants) {
+		workers = len(variants)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats.ReplayWorkers = workers
+
+	out := make([]VariantResult, len(variants))
+	var busy atomic.Int64
+	var firstErr error
+	if workers == 1 {
+		// Serial replay: one packed working set serves the whole batch
+		// (each Run resets it).
+		var fr *fusedRun
+		if packed {
+			fr = getFusedRun(tr.Len(), maxClusters)
+			defer putFusedRun(fr)
 		}
-		m.fr = fr
-		// Defer the issue-time event writes to one sequential pass when
-		// nothing can read the event log mid-run: kernel steering (no
-		// SteerView), no training hooks, no Setup-bound detector.
-		m.frDeferred = fr != nil && m.kern != nil &&
-			v.Hooks.OnEpoch == nil && v.Hooks.OnCommitInst == nil && v.Setup == nil
-		// Elide the pre-run event clear too, and with it every mid-run
-		// event write: the stages keep fetch/dispatch/commit facts in the
-		// fusedRun side arrays and fusedFinalize materializes each event
-		// exactly once. Mispredicted is reconstructed from the shared
-		// profile, which is therefore the one extra requirement.
-		m.frNoReset = m.frDeferred && m.profile != nil
-		res := m.Run()
-		// The batch owns fr; the machine outlives the call.
-		m.fr, m.frDeferred, m.frNoReset = nil, false, false
-		out = append(out, VariantResult{M: m, Res: res})
+		for i := range variants {
+			start := time.Now()
+			m, res, err := runVariant(tr, soa, &variants[i], &preps[i], fr, opt.ResultOnly)
+			busy.Add(time.Since(start).Nanoseconds())
+			if err != nil {
+				firstErr = fmt.Errorf("machine: variant %d: %w", i, err)
+				break
+			}
+			out[i] = VariantResult{M: m, Res: res}
+		}
+	} else {
+		// Parallel fan-out: workers steal variant indices off a shared
+		// cursor; each owns its own pooled packed working set. All
+		// shared state (tr, soa, profiles, kernel memos) is read-only
+		// during this phase; everything mutable is per-variant. The
+		// lowest-index error wins, matching engine.MapCtx.
+		var next atomic.Int64
+		errs := make([]error, len(variants))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var fr *fusedRun
+				if packed {
+					fr = getFusedRun(tr.Len(), maxClusters)
+					defer putFusedRun(fr)
+				}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(variants) {
+						return
+					}
+					start := time.Now()
+					m, res, err := runVariantSafe(tr, soa, &variants[i], &preps[i], fr, opt.ResultOnly)
+					busy.Add(time.Since(start).Nanoseconds())
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					out[i] = VariantResult{M: m, Res: res}
+				}
+			}()
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				firstErr = fmt.Errorf("machine: variant %d: %w", i, err)
+				break
+			}
+		}
+	}
+	stats.ReplayBusyNs = busy.Load()
+	if firstErr != nil {
+		for _, r := range out {
+			Recycle(r.M)
+		}
+		return nil, stats, firstErr
 	}
 	return out, stats, nil
+}
+
+// runVariant replays one prepared variant on fr (nil outside packed
+// admission) and returns its machine and result. The machine outlives
+// the call; the batch-owned fr and flags are detached before returning.
+func runVariant(tr *trace.Trace, soa *traceSoA, v *Variant, prep *variantPrep, fr *fusedRun, resultOnly bool) (*Machine, Result, error) {
+	elide := resultOnly && prep.noReset
+	m, err := newPooledOpt(v.Config, tr, v.Pol, v.Hooks, elide)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	m.useFrontProfile(prep.profile)
+	m.fused = true
+	m.soa = soa
+	m.kern = prep.kern
+	if v.Setup != nil {
+		v.Setup(m)
+	}
+	m.fr = fr
+	// Defer the issue-time event writes to one sequential pass when
+	// nothing can read the event log mid-run: kernel steering (no
+	// SteerView), no training hooks, no Setup-bound detector.
+	m.frDeferred = fr != nil && m.kern != nil &&
+		v.Hooks.OnEpoch == nil && v.Hooks.OnCommitInst == nil && v.Setup == nil
+	// Elide the pre-run event clear too, and with it every mid-run
+	// event write: the stages keep fetch/dispatch/commit facts in the
+	// fusedRun side arrays and fusedFinalize materializes each event
+	// exactly once. Mispredicted is reconstructed from the shared
+	// profile, which is therefore the one extra requirement.
+	m.frNoReset = m.frDeferred && m.profile != nil
+	res := m.Run()
+	// The batch owns fr; the machine outlives the call.
+	m.fr, m.frDeferred, m.frNoReset = nil, false, false
+	return m, res, nil
+}
+
+// runVariantSafe is runVariant with panic containment for the parallel
+// workers: a panicking replay must surface as that variant's error, not
+// crash the process from a goroutine the engine's job recovery cannot
+// see. The serial path keeps the raw panic (it unwinds through the
+// caller, where the engine's own containment applies).
+func runVariantSafe(tr *trace.Trace, soa *traceSoA, v *Variant, prep *variantPrep, fr *fusedRun, resultOnly bool) (m *Machine, res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("machine: variant replay panicked: %v", r)
+		}
+	}()
+	return runVariant(tr, soa, v, prep, fr, resultOnly)
 }
 
 // frontProfile is the shared front-end replay: one program-order gshare
@@ -378,12 +546,76 @@ type kernelState struct {
 	locLevel []uint8 // nil: consult m.loc live
 }
 
+// memoBank deduplicates kernel prediction memos across a variant batch:
+// the forwarding-latency grid fusion. A fwd-axis sweep varies only
+// FwdLatency, so its variants carry predictors in identical states; the
+// memo arrays (predCrit, locLevel) are pure functions of predictor
+// state and the trace PC column, so one array serves every such
+// variant. Sharing whole steering/dispatch images across the fwd axis
+// would NOT be sound — FwdLatency feeds RemoteAvail, which feeds the
+// outstanding-producer test inside steering itself (pinned by
+// TestFwdGridSharingBoundary) — so only the prediction memos fuse.
+// The guard is predictor state equality (predictor.Binary.StateEqual /
+// predictor.LoC.StateEqual); memos are only built for variants with no
+// training hooks, so states cannot diverge mid-batch.
+type memoBank struct {
+	bins []binMemo
+	locs []locMemo
+}
+
+type binMemo struct {
+	pred *predictor.Binary
+	arr  []bool
+}
+
+type locMemo struct {
+	pred *predictor.LoC
+	arr  []uint8
+}
+
+// predCritFor returns the criticality memo for b, reusing a state-equal
+// group's array when one exists.
+func (mb *memoBank) predCritFor(b *predictor.Binary, soa *traceSoA, stats *SharingStats) []bool {
+	for i := range mb.bins {
+		if mb.bins[i].pred == b || mb.bins[i].pred.StateEqual(b) {
+			stats.GridShared++
+			return mb.bins[i].arr
+		}
+	}
+	arr := make([]bool, len(soa.pc))
+	for s, pc := range soa.pc {
+		arr[s] = b.Predict(pc)
+	}
+	mb.bins = append(mb.bins, binMemo{pred: b, arr: arr})
+	stats.GridGroups++
+	return arr
+}
+
+// locLevelFor returns the LoC-level memo for l, reusing a state-equal
+// group's array when one exists.
+func (mb *memoBank) locLevelFor(l *predictor.LoC, soa *traceSoA, stats *SharingStats) []uint8 {
+	for i := range mb.locs {
+		if mb.locs[i].pred == l || mb.locs[i].pred.StateEqual(l) {
+			stats.GridShared++
+			return mb.locs[i].arr
+		}
+	}
+	arr := make([]uint8, len(soa.pc))
+	for s, pc := range soa.pc {
+		arr[s] = uint8(l.Level(pc))
+	}
+	mb.locs = append(mb.locs, locMemo{pred: l, arr: arr})
+	stats.GridGroups++
+	return arr
+}
+
 // buildKernel resolves v's steering kernel, if any, updating stats.
 // Prediction memos are only safe when nothing trains the predictors
 // during the run: kernel policies never do (no-op notifications, per
 // the KernelSpec contract), so the remaining writers are the hooks'
 // training callbacks — any of those attached forces live lookups.
-func buildKernel(v *Variant, soa *traceSoA, stats *SharingStats) *kernelState {
+// Memos are deduplicated through bank across the batch (grid fusion).
+func buildKernel(v *Variant, soa *traceSoA, stats *SharingStats, bank *memoBank) *kernelState {
 	kp, ok := v.Pol.(SteerKernel)
 	if !ok {
 		stats.KernelFallback++
@@ -403,16 +635,10 @@ func buildKernel(v *Variant, soa *traceSoA, stats *SharingStats) *kernelState {
 	// The memo passes read the dense PC column instead of striding
 	// through the 64-byte trace records.
 	if v.Hooks.Binary != nil {
-		k.predCrit = make([]bool, len(soa.pc))
-		for s, pc := range soa.pc {
-			k.predCrit[s] = v.Hooks.Binary.Predict(pc)
-		}
+		k.predCrit = bank.predCritFor(v.Hooks.Binary, soa, stats)
 	}
 	if v.Hooks.LoC != nil {
-		k.locLevel = make([]uint8, len(soa.pc))
-		for s, pc := range soa.pc {
-			k.locLevel[s] = uint8(v.Hooks.LoC.Level(pc))
-		}
+		k.locLevel = bank.locLevelFor(v.Hooks.LoC, soa, stats)
 	}
 	stats.MemoUsed++
 	return k

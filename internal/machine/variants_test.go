@@ -281,12 +281,23 @@ func TestSimulateVariantsSharingStats(t *testing.T) {
 	}
 	// The spec list has exactly one non-kernel policy (proactive) and
 	// one kernel variant with training hooks (the detector variant).
+	// Grid fusion: the two trainedLoC variants carry state-equal
+	// predictors (same seed, same training pass) and share one locLevel
+	// memo; the trainedBinary variant and the focused-8x live binary
+	// build their own groups.
+	if stats.ReplayBusyNs <= 0 {
+		t.Errorf("ReplayBusyNs = %d, want > 0", stats.ReplayBusyNs)
+	}
+	stats.ReplayBusyNs = 0 // wall time: nondeterministic by nature
 	want := machine.SharingStats{
 		BpredShared:    len(specs),
 		KernelUsed:     len(specs) - 1,
 		KernelFallback: 1,
 		MemoUsed:       len(specs) - 2,
 		MemoFallback:   1,
+		GridGroups:     3,
+		GridShared:     1,
+		ReplayWorkers:  1,
 	}
 	if stats != want {
 		t.Fatalf("sharing stats:\n got: %+v\nwant: %+v", stats, want)

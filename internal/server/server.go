@@ -197,6 +197,7 @@ func (s *Server) runJob(j *Job) {
 	opts := j.Spec.options()
 	opts.Engine = s.eng
 	opts.Ctx = ctx
+	opts.ReplayWorkers = s.clampReplayWorkers(j.Spec.ReplayWorkers)
 
 	artifacts := make([]ResultArtifact, 0, len(j.Spec.Experiments))
 	var runErr error
@@ -229,6 +230,33 @@ func (s *Server) runJob(j *Job) {
 		s.cFailed.Inc()
 	}
 	s.noteFinished(j.ID)
+}
+
+// clampReplayWorkers resolves a job's intra-job variant fan-out width
+// queue-aware: requested (or the engine default when the spec left it
+// 0) but never more than this job's fair share of the socket given how
+// many jobs are running right now. More concurrent jobs ⇒ narrower
+// per-job fan-out, so a busy server never oversubscribes cores just
+// because every tenant asked for the full machine. The clamp only
+// changes scheduling, never results — the replay layer is
+// byte-identical under any worker count.
+func (s *Server) clampReplayWorkers(requested int) int {
+	w := requested
+	if w <= 0 {
+		w = s.eng.ReplayWorkers()
+	}
+	running := int(s.running.Load())
+	if running < 1 {
+		running = 1
+	}
+	share := runtime.GOMAXPROCS(0) / running
+	if share < 1 {
+		share = 1
+	}
+	if w > share {
+		w = share
+	}
+	return w
 }
 
 // noteDuration folds one job's wall time into the EWMA behind Retry-After.
@@ -488,6 +516,14 @@ type Stats struct {
 	AnaMisses   int64   `json:"analysis_misses"`
 	SchedHits   int64   `json:"sched_hits"`
 	SchedMisses int64   `json:"sched_misses"`
+
+	// Parallel replay layer (see DESIGN.md "Parallel replay").
+	ReplayWorkers   int   `json:"replay_workers"`
+	ReplayBusyNs    int64 `json:"replay_busy_ns"`
+	EventsElided    int64 `json:"events_elided"`
+	GridGroups      int64 `json:"grid_groups"`
+	GridShared      int64 `json:"grid_shared"`
+	WindowsInFlight int64 `json:"windows_in_flight"`
 }
 
 // StatsSnapshot returns the current Stats (also served at /v1/stats).
@@ -514,6 +550,13 @@ func (s *Server) StatsSnapshot() Stats {
 		AnaMisses:   es.AnaMisses,
 		SchedHits:   es.SchedHits,
 		SchedMisses: es.SchedMisses,
+
+		ReplayWorkers:   es.ReplayWorkers,
+		ReplayBusyNs:    es.ReplayBusyNs,
+		EventsElided:    es.EventsElided,
+		GridGroups:      es.GridGroups,
+		GridShared:      es.GridShared,
+		WindowsInFlight: es.WindowsInFlight,
 	}
 }
 

@@ -38,6 +38,7 @@ func TestSubmitContract(t *testing.T) {
 		{"insts over limit", `{"tenant":"alice","experiments":["fig2"],"insts":50001}`, http.StatusBadRequest, "exceeds the server limit"},
 		{"negative fwd", `{"tenant":"alice","experiments":["fig2"],"fwd":-2}`, http.StatusBadRequest, "negative forwarding"},
 		{"negative epoch", `{"tenant":"alice","experiments":["fig2"],"epoch_len":-8}`, http.StatusBadRequest, "negative epoch"},
+		{"negative replay workers", `{"tenant":"alice","experiments":["fig2"],"replay_workers":-3}`, http.StatusBadRequest, "negative replay workers"},
 		{"unknown field", `{"tenant":"alice","experiments":["fig2"],"bogus":1}`, http.StatusBadRequest, "bad spec"},
 		{"malformed json", `{"tenant":`, http.StatusBadRequest, "bad spec"},
 	}
@@ -224,5 +225,45 @@ func TestCrossTenantSingleflight(t *testing.T) {
 	if got := srv.eng.Summary().SimMisses; got > solo {
 		t.Errorf("shared engine simulated %d configs for %d identical jobs; a solo run needs %d — singleflight failed to dedup",
 			got, nTenants, solo)
+	}
+}
+
+// TestClampReplayWorkers pins the queue-aware fan-out clamp: a lone job
+// gets what it asked for (bounded by the socket), concurrent jobs split
+// the socket, zero falls back to the engine default, and the clamp
+// never drops below one worker.
+func TestClampReplayWorkers(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1, ReplayWorkers: 3})
+	srv, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	procs := runtime.GOMAXPROCS(0)
+
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	// Lone job (running counter includes this job itself in production,
+	// but clamp is called before the increment is observable here).
+	if got, want := srv.clampReplayWorkers(2), min(2, procs); got != want {
+		t.Errorf("lone job requested 2: got %d, want %d", got, want)
+	}
+	// Zero means the engine default.
+	if got, want := srv.clampReplayWorkers(0), min(3, procs); got != want {
+		t.Errorf("lone job default: got %d, want %d", got, want)
+	}
+	// Saturated server: many running jobs squeeze each fan-out to 1.
+	srv.running.Store(int64(procs * 4))
+	if got := srv.clampReplayWorkers(64); got != 1 {
+		t.Errorf("saturated server: got %d, want 1", got)
+	}
+	srv.running.Store(0)
+	// A huge request is still capped at the socket share.
+	if got := srv.clampReplayWorkers(10_000); got != procs {
+		t.Errorf("oversized request: got %d, want %d", got, procs)
 	}
 }

@@ -38,6 +38,14 @@ type Spec struct {
 	// EpochLen overrides the criticality-detector epoch (0 means the
 	// machine default).
 	EpochLen int64 `json:"epoch_len,omitempty"`
+	// ReplayWorkers requests an intra-job variant fan-out width for this
+	// job; 0 lets the server pick a per-job share of the socket. The
+	// server clamps it queue-aware (more concurrent jobs, narrower
+	// fan-out). Deliberately EXCLUDED from Key(): the determinism
+	// contract makes results byte-identical under any worker count, so
+	// jobs differing only here must share cache entries and divergence
+	// baselines.
+	ReplayWorkers int `json:"replay_workers,omitempty"`
 }
 
 // normalized returns the spec with the experiments-package defaults
@@ -209,6 +217,9 @@ func validateSpec(sp Spec, maxInsts int) string {
 	}
 	if sp.EpochLen < 0 {
 		return "negative epoch length"
+	}
+	if sp.ReplayWorkers < 0 {
+		return "negative replay workers"
 	}
 	known := map[string]bool{}
 	for _, b := range workload.Names() {
