@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"time"
@@ -33,9 +34,17 @@ type loadbenchReport struct {
 		Runners       int      `json:"runners"`
 		Queue         int      `json:"queue"`
 		GOMAXPROCS    int      `json:"gomaxprocs"`
+
+		CrashKills     int     `json:"crash_kills,omitempty"`
+		CrashClients   int     `json:"crash_clients,omitempty"`
+		CrashJobs      int     `json:"crash_jobs,omitempty"`
+		CrashChaosRate float64 `json:"crash_chaos_rate,omitempty"`
 	} `json:"config"`
 	Cold loadgen.Report `json:"cold"`
 	Warm loadgen.Report `json:"warm"`
+	// Crash is the kill -9 chaos differential (see loadgen.RunCrash):
+	// present when -crash-kills > 0.
+	Crash *loadgen.CrashReport `json:"crash,omitempty"`
 }
 
 // loadbenchMain runs `clustersim loadbench`: it stands up an in-process
@@ -58,6 +67,12 @@ func loadbenchMain(args []string) int {
 	seed := fs.Uint64("seed", 1, "load-mix seed")
 	addrFlag := fs.String("addr", "", "benchmark an already-running server at this base URL instead of in-process")
 	jsonOut := fs.String("json", "BENCH_serve.json", "write the report here")
+	crashKills := fs.Int("crash-kills", 0, "crash-chaos phase: SIGKILL/restart the server this many times mid-load (0: skip)")
+	crashEvery := fs.Duration("crash-every", 400*time.Millisecond, "crash-chaos uptime between kills")
+	crashClients := fs.Int("crash-clients", 8, "crash-chaos concurrent clients")
+	crashJobs := fs.Int("crash-jobs", 2, "crash-chaos jobs per client")
+	crashChaosRate := fs.Float64("crash-chaos-rate", 0.05, "fault-injection rate inside the crashed server (job-log and network I/O sites)")
+	crashChaosSeed := fs.Uint64("crash-chaos-seed", 1, "fault-injection seed inside the crashed server")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: clustersim loadbench [flags]")
 		fmt.Fprintln(os.Stderr, "replays a sweep mix from concurrent synthetic clients and reports latency, throughput and divergence")
@@ -182,6 +197,31 @@ func loadbenchMain(args []string) int {
 		return 1
 	}
 
+	if *crashKills > 0 {
+		out.Config.CrashKills = *crashKills
+		out.Config.CrashClients = *crashClients
+		out.Config.CrashJobs = *crashJobs
+		out.Config.CrashChaosRate = *crashChaosRate
+		rep, err := runCrashPhase(crashPhaseConfig{
+			kills:     *crashKills,
+			killEvery: *crashEvery,
+			clients:   *crashClients,
+			jobsPer:   *crashJobs,
+			chaosRate: *crashChaosRate,
+			chaosSeed: *crashChaosSeed,
+			seed:      *seed,
+			tenants:   tenants,
+			names:     tenantNames,
+			mix:       mix,
+			expected:  expected,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
+			return 1
+		}
+		out.Crash = &rep
+	}
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim loadbench:", err)
@@ -202,5 +242,134 @@ func loadbenchMain(args []string) int {
 		fmt.Fprintf(os.Stderr, "clustersim loadbench: FAIL — %d client errors\n", out.Cold.Errors+out.Warm.Errors)
 		return 1
 	}
+	if out.Crash != nil {
+		switch {
+		case out.Crash.Lost > 0:
+			fmt.Fprintf(os.Stderr, "clustersim loadbench: FAIL — %d accepted jobs lost across kill -9 restarts\n", out.Crash.Lost)
+			return 1
+		case out.Crash.Divergence > 0:
+			fmt.Fprintf(os.Stderr, "clustersim loadbench: FAIL — %d crash-phase results diverged from local runs\n", out.Crash.Divergence)
+			return 1
+		case out.Crash.Errors > 0:
+			fmt.Fprintf(os.Stderr, "clustersim loadbench: FAIL — %d crash-phase jobs never completed\n", out.Crash.Errors)
+			return 1
+		}
+	}
 	return 0
+}
+
+// crashPhaseConfig bundles the crash phase's knobs.
+type crashPhaseConfig struct {
+	kills     int
+	killEvery time.Duration
+	clients   int
+	jobsPer   int
+	chaosRate float64
+	chaosSeed uint64
+	seed      uint64
+	tenants   map[string]float64
+	names     []string
+	mix       []server.Spec
+	expected  map[string][]server.ResultArtifact
+}
+
+// runCrashPhase runs the kill -9 chaos differential: a real `clustersim
+// serve` subprocess (this binary re-exec'd) with a durable job log, a
+// shared cache dir, and fault injection enabled, SIGKILLed and restarted
+// mid-load while retrying clients drive every accepted job to a
+// byte-verified completion.
+func runCrashPhase(cfg crashPhaseConfig) (loadgen.CrashReport, error) {
+	bin, err := os.Executable()
+	if err != nil {
+		return loadgen.CrashReport{}, err
+	}
+	dir, err := os.MkdirTemp("", "clustersim-crash-*")
+	if err != nil {
+		return loadgen.CrashReport{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// A fixed port the restarted server can re-bind: pick a free one up
+	// front. (The tiny claim/release race is acceptable for a bench.)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadgen.CrashReport{}, err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var tenantArgs []string
+	for name, w := range cfg.tenants {
+		tenantArgs = append(tenantArgs, fmt.Sprintf("%s:%g", name, w))
+	}
+	proc := &serveProc{
+		bin: bin,
+		args: []string{
+			"serve", "-addr", addr,
+			"-job-log", dir + "/joblog",
+			"-cache-dir", dir + "/cache",
+			"-tenants", strings.Join(tenantArgs, ","),
+			"-queue", "1024",
+		},
+		env: append(os.Environ(),
+			fmt.Sprintf("CLUSTERSIM_CHAOS_SEED=%d", cfg.chaosSeed),
+			fmt.Sprintf("CLUSTERSIM_CHAOS_RATE=%g", cfg.chaosRate)),
+	}
+	if err := proc.start(); err != nil {
+		return loadgen.CrashReport{}, err
+	}
+	defer proc.kill()
+
+	fmt.Fprintf(os.Stderr, "clustersim loadbench: crash phase — %d clients, %d kills, chaos rate %g, server on %s\n",
+		cfg.clients, cfg.kills, cfg.chaosRate, addr)
+	rep, err := loadgen.RunCrash(loadgen.CrashConfig{
+		BaseURL:       "http://" + addr,
+		Clients:       cfg.clients,
+		JobsPerClient: cfg.jobsPer,
+		Tenants:       cfg.names,
+		Specs:         cfg.mix,
+		Seed:          cfg.seed,
+		Expected:      cfg.expected,
+		Kills:         cfg.kills,
+		KillEvery:     cfg.killEvery,
+		Kill:          proc.kill,
+		Start:         proc.start,
+	})
+	if err != nil {
+		return rep, err
+	}
+	fmt.Fprintf(os.Stderr, "  crash: %d jobs verified through %d kill -9s (%d retries), %d lost, %d diverged, %d errors in %.1fs\n",
+		rep.Jobs, rep.Kills, rep.Retries, rep.Lost, rep.Divergence, rep.Errors, rep.WallSeconds)
+	return rep, nil
+}
+
+// serveProc manages the crash phase's serve subprocess.
+type serveProc struct {
+	bin  string
+	args []string
+	env  []string
+	cmd  *exec.Cmd
+}
+
+// start launches a fresh serve process against the same log and cache.
+func (p *serveProc) start() error {
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Env = p.env
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	p.cmd = cmd
+	return nil
+}
+
+// kill SIGKILLs the current process and reaps it — no drain, no
+// warning, exactly the crash the job log exists for.
+func (p *serveProc) kill() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return nil
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.cmd = nil
+	return nil
 }

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"clustersim/internal/engine"
 	"clustersim/internal/metrics"
@@ -32,6 +34,13 @@ func serveMain(args []string) int {
 	queueMax := fs.Int("queue", 256, "max queued jobs before submissions get 429")
 	runners := fs.Int("runners", 0, "concurrent job executors (0: GOMAXPROCS)")
 	maxInsts := fs.Int("max-insts", 2_000_000, "per-benchmark instruction cap on submitted specs")
+	jobLog := fs.String("job-log", "", "durable job log path: accepted jobs are fsynced there before the 202 and replayed on restart (empty: in-memory only)")
+	jobDeadline := fs.Duration("job-deadline", 0, "default stuck-job watchdog deadline per job (0: none)")
+	maxJobDeadline := fs.Duration("max-job-deadline", 0, "clamp on spec-requested deadline_secs (0: no clamp)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM/SIGINT lets running jobs finish before cancelling them")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slow-loris guard)")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (0: none; SSE responses are unaffected)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: clustersim serve [flags]")
 		fmt.Fprintln(os.Stderr, "serves the multi-tenant job API (see internal/server for endpoints)")
@@ -57,12 +66,15 @@ func serveMain(args []string) int {
 		fmt.Fprintf(os.Stderr, "clustersim serve: disk cache disabled: %v\n", err)
 	}
 	srv, err := server.New(server.Config{
-		Engine:   eng,
-		Metrics:  reg,
-		Tenants:  tenants,
-		MaxQueue: *queueMax,
-		Runners:  *runners,
-		MaxInsts: *maxInsts,
+		Engine:             eng,
+		Metrics:            reg,
+		Tenants:            tenants,
+		MaxQueue:           *queueMax,
+		Runners:            *runners,
+		MaxInsts:           *maxInsts,
+		JobLog:             *jobLog,
+		DefaultJobDeadline: *jobDeadline,
+		MaxJobDeadline:     *maxJobDeadline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim serve:", err)
@@ -75,15 +87,29 @@ func serveMain(args []string) int {
 		fmt.Fprintln(os.Stderr, "clustersim serve:", err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler(), *readHeaderTimeout, *readTimeout, *idleTimeout)
 	fmt.Fprintf(os.Stderr, "clustersim serve: listening on http://%s (POST /v1/jobs; /metrics; /v1/stats)\n", ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (what orchestrators send) and SIGINT both begin a graceful
+	// drain: stop admitting, let running jobs finish within -drain-timeout
+	// (queued jobs stay persisted in the job log), then shut the HTTP
+	// listener down with its own bound so one hung SSE client cannot block
+	// the exit forever.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "clustersim serve: shutting down")
-		hs.Shutdown(context.Background())
+		fmt.Fprintln(os.Stderr, "clustersim serve: draining")
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		ds := srv.Drain(dctx)
+		dcancel()
+		fmt.Fprintf(os.Stderr, "clustersim serve: drain done: %d completed, %d persisted for restart, %d aborted\n",
+			ds.Completed, ds.Persisted, ds.Aborted)
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			hs.Close() // hung connections: close them rather than hang the exit
+		}
 	}()
 	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "clustersim serve:", err)
@@ -92,6 +118,21 @@ func serveMain(args []string) int {
 	srv.Close()
 	eng.RenderSummary(os.Stderr)
 	return 0
+}
+
+// newHTTPServer hardens the listener against misbehaving clients: a
+// slow-loris connection trickling header bytes is cut at
+// readHeaderTimeout, a stalled request body at readTimeout, and idle
+// keep-alive connections are reaped at idleTimeout. WriteTimeout stays 0
+// because SSE streams are legitimately long-lived; dead SSE clients are
+// reaped by the server's heartbeat instead.
+func newHTTPServer(h http.Handler, readHeaderTimeout, readTimeout, idleTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 }
 
 // parseTenants parses "name:weight,name:weight" (weight optional,

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSlowLorisCutByReadHeaderTimeout: a client trickling an incomplete
+// header block must be disconnected at ReadHeaderTimeout instead of
+// pinning a connection forever — the classic slow-loris hold-open.
+func TestSlowLorisCutByReadHeaderTimeout(t *testing.T) {
+	hs := newHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), 200*time.Millisecond, 0, time.Minute)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Partial headers, never finished: the server must hang up on us.
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: x\r\nX-Slow:")
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	_, err = io.ReadAll(conn)
+	elapsed := time.Since(start)
+	if err != nil {
+		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			t.Fatalf("server never closed the slow-loris connection (still open after %s)", elapsed)
+		}
+		// A reset is as good as a close for this test.
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("slow-loris connection lived %s, want cut near the 200ms ReadHeaderTimeout", elapsed)
+	}
+
+	// A well-behaved request on the same server still succeeds.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy request after slow-loris: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPServerTimeoutsWired: the serve flags land on the http.Server
+// fields, and WriteTimeout deliberately stays 0 (SSE streams are
+// long-lived; dead clients are reaped by the heartbeat instead).
+func TestHTTPServerTimeoutsWired(t *testing.T) {
+	hs := newHTTPServer(http.NotFoundHandler(), 1*time.Second, 2*time.Second, 3*time.Second)
+	if hs.ReadHeaderTimeout != 1*time.Second || hs.ReadTimeout != 2*time.Second || hs.IdleTimeout != 3*time.Second {
+		t.Fatalf("timeouts not wired: %+v", hs)
+	}
+	if hs.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %s, must stay 0 for SSE", hs.WriteTimeout)
+	}
+}

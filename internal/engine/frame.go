@@ -67,6 +67,20 @@ func nextFrame(data []byte, maxLen int) (payload, rest []byte, err error) {
 	return payload, data[frameHdrLen+n:], nil
 }
 
+// EncodeFrame wraps payload in a CSF1 frame. Exported for sibling
+// packages that keep append-only logs under the same framing discipline
+// (the server's durable job log); the engine's own artifacts use the
+// unexported helpers directly.
+func EncodeFrame(payload []byte) []byte { return encodeFrame(payload) }
+
+// NextFrame validates and strips one frame from data, returning the
+// payload and the remaining bytes. maxLen bounds the declared payload
+// length. Errors are ErrCorrupt-classed; a reader replaying a log stops
+// at the first error to keep the valid prefix.
+func NextFrame(data []byte, maxLen int) (payload, rest []byte, err error) {
+	return nextFrame(data, maxLen)
+}
+
 // decodeFrame validates data as exactly one frame.
 func decodeFrame(data []byte, maxLen int) ([]byte, error) {
 	payload, rest, err := nextFrame(data, maxLen)

@@ -22,12 +22,19 @@ const (
 	// StateCanceled means the client (or server shutdown) cancelled the
 	// job before it completed.
 	StateCanceled State = "canceled"
+	// StateDeadline means the stuck-job watchdog killed the job at its
+	// wall-clock deadline. Terminal: a restart does not re-run it.
+	StateDeadline State = "deadline"
 )
 
 // terminal reports whether the state is final.
 func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateDeadline
 }
+
+// Terminal reports whether the state is final — exported for API
+// clients (the load harness polls until Terminal).
+func (s State) Terminal() bool { return s.terminal() }
 
 // Event is one progress record of a job, streamed over the events
 // endpoint and embedded in status responses.
@@ -54,17 +61,23 @@ type Job struct {
 	vft  float64
 	seq  uint64
 
-	mu        sync.Mutex
-	state     State
-	events    []Event
-	artifacts []ResultArtifact
-	errMsg    string
-	cancel    context.CancelFunc
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	done      chan struct{} // closed on terminal state
-	updated   chan struct{} // closed and replaced on every event append
+	// Crash-safety bookkeeping, owned by the server under its own mutex.
+	idemKey      string // Idempotency-Key the submission carried, if any
+	recoveredKey string // (tenant, spec-key) index entry for log-recovered jobs
+
+	mu           sync.Mutex
+	state        State
+	events       []Event
+	artifacts    []ResultArtifact
+	errMsg       string
+	cancel       context.CancelFunc
+	clientCancel bool // cancellation was client-initiated (logged terminal)
+	deadlined    bool // the stuck-job watchdog fired
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+	done         chan struct{} // closed on terminal state
+	updated      chan struct{} // closed and replaced on every event append
 }
 
 // newJob builds a queued job.
@@ -79,6 +92,45 @@ func newJob(id string, sp Spec) *Job {
 		updated:   make(chan struct{}),
 	}
 	j.appendEventLocked("accepted")
+	return j
+}
+
+// restoreFinishedJob rebuilds a terminal job replayed from the job log,
+// with its artifacts retrievable exactly as before the restart.
+func restoreFinishedJob(id string, sp Spec, state State, arts []ResultArtifact, errMsg string, submitted time.Time) *Job {
+	j := &Job{
+		ID:        id,
+		Spec:      sp,
+		cost:      sp.cost(),
+		state:     state,
+		artifacts: arts,
+		errMsg:    errMsg,
+		submitted: submitted,
+		finished:  time.Now(),
+		done:      make(chan struct{}),
+		updated:   make(chan struct{}),
+	}
+	j.appendEventLocked("restored from job log")
+	j.appendEventLocked(string(state))
+	close(j.done)
+	return j
+}
+
+// restoreQueuedJob rebuilds an incomplete job replayed from the job log
+// as a fresh queued job with its original identity, ready to re-enqueue.
+func restoreQueuedJob(id string, sp Spec, idemKey string, submitted time.Time, started bool) *Job {
+	j := newJob(id, sp)
+	j.idemKey = idemKey
+	if !submitted.IsZero() {
+		j.submitted = submitted
+	}
+	msg := "recovered from job log: re-enqueued"
+	if started {
+		msg = "recovered from job log: was running, re-enqueued"
+	}
+	j.mu.Lock()
+	j.appendEventLocked(msg)
+	j.mu.Unlock()
 	return j
 }
 
@@ -135,14 +187,16 @@ func (j *Job) finish(state State, artifacts []ResultArtifact, errMsg string) {
 	close(j.done)
 }
 
-// requestCancel cancels the job: queued jobs finish immediately (the
-// queue skips them on pop), running jobs get their context cancelled and
-// finish when the runner observes it. Returns the state after the
-// request.
+// requestCancel cancels the job on a client's behalf: queued jobs finish
+// immediately (the queue skips them on pop), running jobs get their
+// context cancelled and finish when the runner observes it. Returns the
+// state after the request. Client-initiated cancellation is terminal and
+// logged; contrast serverCancel.
 func (j *Job) requestCancel() State {
 	j.mu.Lock()
 	state := j.state
 	cancel := j.cancel
+	j.clientCancel = true
 	j.mu.Unlock()
 	switch state {
 	case StateQueued:
@@ -155,6 +209,46 @@ func (j *Job) requestCancel() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// serverCancel cancels a running job's context without marking the
+// cancellation client-initiated: drain timeouts and shutdown use it, and
+// the finish is deliberately NOT logged terminal so a restart re-runs
+// the job from its accepted record.
+func (j *Job) serverCancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// wasClientCanceled reports whether cancellation came from a client.
+func (j *Job) wasClientCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.clientCancel
+}
+
+// markDeadline flags a still-running job as killed by the stuck-job
+// watchdog; it reports whether the flag was newly set (the job had not
+// already finished).
+func (j *Job) markDeadline() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return false
+	}
+	j.deadlined = true
+	return true
+}
+
+// wasDeadlined reports whether the watchdog fired on this job.
+func (j *Job) wasDeadlined() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadlined
 }
 
 // snapshot returns the job's externally visible status.

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"clustersim/internal/faultinject"
+)
+
+// logPath returns a fresh job-log path in a test temp dir.
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "joblog")
+}
+
+// appendAll appends recs, failing the test on any error.
+func appendAll(t *testing.T, l *jobLog, recs ...jlRecord) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := l.append(rec); err != nil {
+			t.Fatalf("append %+v: %v", rec, err)
+		}
+	}
+}
+
+// reopen closes l and reopens the log, returning the replayed records.
+func reopen(t *testing.T, l *jobLog, path string) (*jobLog, []jlRecord) {
+	t.Helper()
+	if err := l.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l2, recs, _, err := openJobLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return l2, recs
+}
+
+// TestJobLogRoundTrip: records written through append come back intact
+// and in order from a replay, including a finished record's artifacts.
+func TestJobLogRoundTrip(t *testing.T) {
+	path := logPath(t)
+	l, recs, torn, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || torn != 0 {
+		t.Fatalf("fresh log: %d records, %d torn bytes", len(recs), torn)
+	}
+	sp := Spec{Tenant: "alice", Experiments: []string{"fig2"}, Insts: 500}
+	appendAll(t, l,
+		jlRecord{Kind: jlAccepted, ID: "job-000001", Tenant: "alice", Spec: &sp, IdemKey: "k1", SubmittedAt: time.Unix(100, 0).UTC()},
+		jlRecord{Kind: jlStarted, ID: "job-000001"},
+		jlRecord{Kind: jlFinished, ID: "job-000001", State: StateDone,
+			Artifacts: []ResultArtifact{{Experiment: "fig2", Output: "table\n"}}},
+	)
+	l, recs = reopen(t, l, path)
+	defer l.close()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	if recs[0].Kind != jlAccepted || recs[0].Spec == nil || recs[0].Spec.Tenant != "alice" || recs[0].IdemKey != "k1" {
+		t.Fatalf("accepted record mangled: %+v", recs[0])
+	}
+	if recs[2].Kind != jlFinished || recs[2].State != StateDone || len(recs[2].Artifacts) != 1 ||
+		recs[2].Artifacts[0].Output != "table\n" {
+		t.Fatalf("finished record mangled: %+v", recs[2])
+	}
+}
+
+// TestJobLogTornTail: trailing garbage — a crash mid-append — is
+// truncated on open; the valid prefix replays and appends continue from
+// the repaired boundary.
+func TestJobLogTornTail(t *testing.T) {
+	path := logPath(t)
+	l, _, _, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{Tenant: "a", Experiments: []string{"fig2"}}
+	appendAll(t, l,
+		jlRecord{Kind: jlAccepted, ID: "job-000001", Spec: &sp},
+		jlRecord{Kind: jlAccepted, ID: "job-000002", Spec: &sp},
+	)
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("CSF1\x40\x00\x00\x00torn-frame-missing-most-of-its-payload"))
+	f.Close()
+
+	l, recs, torn, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn == 0 {
+		t.Fatal("open did not report the torn tail")
+	}
+	if len(recs) != 2 || recs[1].ID != "job-000002" {
+		t.Fatalf("valid prefix replayed %d records (%+v), want the 2 good ones", len(recs), recs)
+	}
+	// The tail is repaired: appends land cleanly after it.
+	appendAll(t, l, jlRecord{Kind: jlStarted, ID: "job-000002"})
+	l, recs = reopen(t, l, path)
+	defer l.close()
+	if len(recs) != 3 || recs[2].Kind != jlStarted {
+		t.Fatalf("post-repair append lost: %d records %+v", len(recs), recs)
+	}
+}
+
+// TestJobLogAppendFaults: under heavy write-path fault injection every
+// append either succeeds (after internal retries) or fails cleanly; the
+// on-disk file never ends up with a mid-file torn frame, so every
+// successfully-appended record replays.
+func TestJobLogAppendFaults(t *testing.T) {
+	path := logPath(t)
+	l, _, _, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(77, 0.3)
+	defer faultinject.Disable()
+
+	sp := Spec{Tenant: "a", Experiments: []string{"fig2"}}
+	var ok []string
+	for i := 0; i < 60; i++ {
+		id := "job-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		err := l.append(jlRecord{Kind: jlAccepted, ID: id, Spec: &sp})
+		if err == nil {
+			ok = append(ok, id)
+		} else if errors.Is(err, errJobLogBroken) {
+			t.Fatalf("append %d: log declared broken: %v", i, err)
+		}
+	}
+	faultinject.Disable()
+	if len(ok) == 0 {
+		t.Fatal("no append survived 30% fault injection (4 retries each) — suspicious")
+	}
+
+	l, recs, torn, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.close()
+	if torn != 0 {
+		t.Fatalf("replay found %d torn bytes; rollback should have repaired every failed append", torn)
+	}
+	if len(recs) != len(ok) {
+		t.Fatalf("replayed %d records, want the %d successful appends", len(recs), len(ok))
+	}
+	for i, id := range ok {
+		if recs[i].ID != id {
+			t.Fatalf("record %d: ID %s, want %s", i, recs[i].ID, id)
+		}
+	}
+}
+
+// TestJobLogCompact: compaction rewrites the log to exactly the given
+// records and the handle keeps appending afterwards.
+func TestJobLogCompact(t *testing.T) {
+	path := logPath(t)
+	l, _, _, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{Tenant: "a", Experiments: []string{"fig2"}}
+	for i := 0; i < 10; i++ {
+		appendAll(t, l, jlRecord{Kind: jlAccepted, ID: "job-old", Spec: &sp})
+	}
+	keep := []jlRecord{{Kind: jlAccepted, ID: "job-keep", Spec: &sp}}
+	if err := l.compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, jlRecord{Kind: jlStarted, ID: "job-keep"})
+	l, recs := reopen(t, l, path)
+	defer l.close()
+	if len(recs) != 2 || recs[0].ID != "job-keep" || recs[1].Kind != jlStarted {
+		t.Fatalf("after compact+append: %+v, want [accepted job-keep, started job-keep]", recs)
+	}
+}
+
+// TestMergeRecords: replay state merges per job regardless of record
+// interleaving, and records without an accepted frame are dropped.
+func TestMergeRecords(t *testing.T) {
+	sp := Spec{Tenant: "a", Experiments: []string{"fig2"}}
+	order, jobs := mergeRecords([]jlRecord{
+		// started logged before accepted (runner raced the submit path).
+		{Kind: jlStarted, ID: "j1"},
+		{Kind: jlAccepted, ID: "j1", Spec: &sp},
+		{Kind: jlAccepted, ID: "j2", Spec: &sp},
+		{Kind: jlFinished, ID: "j2", State: StateDone, Artifacts: []ResultArtifact{{Experiment: "fig2", Output: "x"}}},
+		// never accepted: must be dropped by the caller (accepted=false).
+		{Kind: jlFinished, ID: "ghost", State: StateDone},
+	})
+	if len(order) != 3 || order[0] != "j1" || order[1] != "j2" {
+		t.Fatalf("order %v, want [j1 j2 ghost]", order)
+	}
+	if !jobs["j1"].accepted || !jobs["j1"].started || jobs["j1"].finished {
+		t.Fatalf("j1 state %+v, want accepted+started, not finished", jobs["j1"])
+	}
+	if !jobs["j2"].finished || jobs["j2"].state != StateDone || len(jobs["j2"].arts) != 1 {
+		t.Fatalf("j2 state %+v, want finished done with artifacts", jobs["j2"])
+	}
+	if jobs["ghost"].accepted {
+		t.Fatal("ghost (never accepted) reported accepted")
+	}
+}

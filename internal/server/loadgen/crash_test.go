@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"clustersim/internal/engine"
+	"clustersim/internal/faultinject"
+	"clustersim/internal/server"
+)
+
+// The kill -9 differential needs a real process to kill, so this file
+// re-execs the test binary: TestMain intercepts LOADGEN_CRASH_SERVER=1
+// and becomes the server instead of running tests. SIGKILL then lands on
+// a genuine OS process whose only persistent state is the job log and
+// cache directory — exactly the production crash.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("LOADGEN_CRASH_SERVER") == "1" {
+		crashServerMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// crashServerMain is the re-exec'd server: serve the job API on
+// CRASH_ADDR with a job log and disk cache under CRASH_DIR until killed.
+func crashServerMain() {
+	addr := os.Getenv("CRASH_ADDR")
+	dir := os.Getenv("CRASH_DIR")
+	faultinject.EnableFromEnv()
+	eng := engine.New(engine.Config{
+		Workers:  runtime.GOMAXPROCS(0),
+		CacheDir: filepath.Join(dir, "cache"),
+	})
+	srv, err := server.New(server.Config{
+		Engine: eng,
+		JobLog: filepath.Join(dir, "joblog"),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash server:", err)
+		os.Exit(1)
+	}
+	srv.Start()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash server:", err)
+		os.Exit(1)
+	}
+	http.Serve(ln, srv.Handler())
+	os.Exit(0)
+}
+
+// TestCrashChaosKill9: the tentpole differential. Clients drive jobs
+// with stable idempotency keys while the server process is SIGKILLed
+// and restarted against the same job log, with 5% fault injection live
+// on the job-log and network I/O sites inside the server. Afterwards:
+// zero accepted jobs lost, zero divergent results, every job completed.
+func TestCrashChaosKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kill -9s server subprocesses")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Fixed port across restarts.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	mix := []server.Spec{
+		{Experiments: []string{"fig2"}, Benchmarks: []string{"gzip"}, Insts: 60_000},
+		{Experiments: []string{"fig2"}, Benchmarks: []string{"gzip"}, Insts: 60_000, Seed: 2},
+		{Experiments: []string{"fig4"}, Benchmarks: []string{"mcf"}, Insts: 60_000},
+	}
+	expected := map[string][]server.ResultArtifact{}
+	localEng := engine.New(engine.Config{Workers: runtime.GOMAXPROCS(0)})
+	for _, sp := range mix {
+		sp.Tenant = "default"
+		arts, err := server.RunLocal(sp, localEng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[sp.Key()] = arts
+	}
+
+	var cmd *exec.Cmd
+	start := func() error {
+		cmd = exec.Command(bin)
+		cmd.Env = append(os.Environ(),
+			"LOADGEN_CRASH_SERVER=1",
+			"CRASH_ADDR="+addr,
+			"CRASH_DIR="+dir,
+			"CLUSTERSIM_CHAOS_SEED=7",
+			"CLUSTERSIM_CHAOS_RATE=0.05",
+		)
+		cmd.Stderr = os.Stderr
+		return cmd.Start()
+	}
+	kill := func() error {
+		if cmd == nil || cmd.Process == nil {
+			return nil
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		cmd = nil
+		return nil
+	}
+	if err := start(); err != nil {
+		t.Fatal(err)
+	}
+	defer kill()
+	if err := waitHealthy(&http.Client{Timeout: time.Second}, "http://"+addr, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RunCrash(CrashConfig{
+		BaseURL:       "http://" + addr,
+		Clients:       4,
+		JobsPerClient: 3,
+		Specs:         mix,
+		Seed:          1,
+		Expected:      expected,
+		Kills:         3,
+		KillEvery:     30 * time.Millisecond,
+		Kill:          kill,
+		Start:         start,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("crash report: %+v", rep)
+	if rep.Kills == 0 {
+		t.Fatal("no kill cycle completed — the differential proved nothing")
+	}
+	if rep.Lost > 0 {
+		t.Fatalf("%d accepted jobs lost across kill -9 restarts", rep.Lost)
+	}
+	if rep.Divergence > 0 {
+		t.Fatalf("%d jobs completed with bytes diverging from local runs", rep.Divergence)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("%d jobs never completed", rep.Errors)
+	}
+	if rep.Jobs != 4*3 {
+		t.Fatalf("%d jobs verified, want 12", rep.Jobs)
+	}
+}

@@ -226,7 +226,7 @@ func runOne(hc *http.Client, base string, sp server.Spec, expected map[string][]
 		if err := getJSON(hc, base+"/v1/jobs/"+id+"?wait=30s", &st); err != nil {
 			return -1, rejected, false, err
 		}
-		if st.State == server.StateDone || st.State == server.StateFailed || st.State == server.StateCanceled {
+		if st.State.Terminal() {
 			break
 		}
 	}

@@ -32,9 +32,10 @@ type wfq struct {
 	items   jobHeap
 	vtime   float64            // virtual time: vft of the last popped job
 	lastVft map[string]float64 // per-tenant last assigned vft
-	nextSeq uint64
-	max     int
-	closed  bool
+	nextSeq  uint64
+	max      int
+	closed   bool
+	draining bool
 }
 
 // newWFQ builds a queue bounded to max pending jobs.
@@ -51,7 +52,7 @@ func (q *wfq) push(j *Job, weight float64) error {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed {
+	if q.closed || q.draining {
 		return ErrQueueClosed
 	}
 	if q.max > 0 && q.items.Len() >= q.max {
@@ -71,11 +72,16 @@ func (q *wfq) push(j *Job, weight float64) error {
 }
 
 // pop blocks until a job is available (skipping jobs cancelled while
-// queued) or the queue closes; ok is false on close.
+// queued) or the queue closes or drains; ok is false on close/drain.
+// Draining deliberately leaves queued items in place — they stay
+// accepted in the job log and re-enqueue on the next start.
 func (q *wfq) pop() (*Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
+		if q.draining {
+			return nil, false
+		}
 		for q.items.Len() > 0 {
 			j := heap.Pop(&q.items).(*Job)
 			if j.vft > q.vtime {
@@ -99,6 +105,20 @@ func (q *wfq) pop() (*Job, bool) {
 func (q *wfq) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// drain flips the queue to draining: push refuses with ErrQueueClosed,
+// every blocked pop wakes and returns false, and queued items are left
+// untouched (persisted work for the next start). Returns how many jobs
+// remain queued. Idempotent.
+func (q *wfq) drain() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.draining {
+		q.draining = true
+		q.cond.Broadcast()
+	}
 	return q.items.Len()
 }
 

@@ -2,7 +2,9 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 )
 
 // mkJob builds a queued job with an explicit fair-queue cost.
@@ -112,5 +114,164 @@ func TestWFQBoundAndCancelSkip(t *testing.T) {
 	}
 	if err := q.push(mkJob("d", "t", 1), 1); err != ErrQueueClosed {
 		t.Fatalf("push after close: err = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestWFQCloseWhilePopping: pushers, poppers, cancellers and a late
+// close interleave freely (run under -race); every blocked pop must wake
+// and return ok=false, and no pop may ever hand out a cancelled job.
+func TestWFQCloseWhilePopping(t *testing.T) {
+	q := newWFQ(0)
+	var wg sync.WaitGroup
+	popped := make(chan *Job, 256)
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j, ok := q.pop()
+				if !ok {
+					return
+				}
+				popped <- j
+			}
+		}()
+	}
+	var jobs []*Job
+	var mu sync.Mutex
+	var pushWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pushWG.Add(1)
+		go func(g int) {
+			defer pushWG.Done()
+			for i := 0; i < 32; i++ {
+				j := mkJob(fmt.Sprintf("g%d-%d", g, i), "t", 1)
+				if err := q.push(j, 1); err != nil {
+					return // closed underneath us: fine
+				}
+				mu.Lock()
+				jobs = append(jobs, j)
+				mu.Unlock()
+				if i%3 == 0 {
+					j.requestCancel() // may race the pop: pop must skip it
+				}
+			}
+		}(g)
+	}
+	pushWG.Wait()
+	time.Sleep(time.Millisecond) // let poppers chew a little
+	leftover := q.close()
+	wg.Wait()
+	close(popped)
+	seen := map[string]bool{}
+	for j := range popped {
+		if seen[j.ID] {
+			t.Fatalf("job %s popped twice", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	for _, j := range leftover {
+		if seen[j.ID] {
+			t.Fatalf("job %s both popped and returned by close", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	mu.Lock()
+	pushed := len(jobs)
+	mu.Unlock()
+	if len(seen) > pushed {
+		t.Fatalf("%d jobs accounted for, only %d pushed", len(seen), pushed)
+	}
+	// After close, pop returns immediately and push refuses.
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed queue returned a job")
+	}
+	if err := q.push(mkJob("late", "t", 1), 1); err != ErrQueueClosed {
+		t.Fatalf("push after close: %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestWFQDrainWhilePopping: drain wakes every blocked pop with ok=false
+// while leaving queued items in place — the persisted-for-restart
+// contract — and refuses new pushes.
+func TestWFQDrainWhilePopping(t *testing.T) {
+	q := newWFQ(0)
+	const blocked = 3
+	var wg sync.WaitGroup
+	results := make(chan bool, blocked)
+	for i := 0; i < blocked; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, ok := q.pop() // empty queue: blocks until drain
+			results <- ok
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let the pops park
+	for i := 0; i < 4; i++ {
+		if err := q.push(mkJob(fmt.Sprintf("d%d", i), "t", 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pops may grab some jobs before drain lands; whatever drain reports
+	// left must still be there afterwards.
+	left := q.drain()
+	wg.Wait()
+	close(results)
+	for ok := range results {
+		if ok {
+			continue // popped a job before the drain
+		}
+	}
+	if got := q.depth(); got != left {
+		t.Fatalf("depth after drain = %d, want the %d drain reported (items must stay put)", got, left)
+	}
+	if err := q.push(mkJob("late", "t", 1), 1); err != ErrQueueClosed {
+		t.Fatalf("push while draining: %v, want ErrQueueClosed", err)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop while draining returned a job")
+	}
+	if again := q.drain(); again != left {
+		t.Fatalf("second drain = %d, want %d (idempotent)", again, left)
+	}
+	// close() after drain still hands the leftovers to the caller.
+	if got := len(q.close()); got != left {
+		t.Fatalf("close after drain drained %d jobs, want %d", got, left)
+	}
+}
+
+// TestWFQCancelDuringClose: jobs cancelled concurrently with close never
+// deadlock and close returns every still-queued job exactly once.
+func TestWFQCancelDuringClose(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		q := newWFQ(0)
+		jobs := make([]*Job, 8)
+		for i := range jobs {
+			jobs[i] = mkJob(fmt.Sprintf("c%d", i), "t", 1)
+			if err := q.push(jobs[i], 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, j := range jobs[:4] {
+				j.requestCancel()
+			}
+		}()
+		left := q.close()
+		wg.Wait()
+		if len(left) != len(jobs) {
+			t.Fatalf("round %d: close returned %d jobs, want %d (cancelled-but-queued included)", round, len(left), len(jobs))
+		}
+		seen := map[string]bool{}
+		for _, j := range left {
+			if seen[j.ID] {
+				t.Fatalf("round %d: close returned %s twice", round, j.ID)
+			}
+			seen[j.ID] = true
+		}
 	}
 }

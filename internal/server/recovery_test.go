@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"clustersim/internal/engine"
+)
+
+// quickSpec is a small, fast job for recovery tests.
+var quickSpec = Spec{
+	Tenant:      "default",
+	Experiments: []string{"fig2"},
+	Benchmarks:  []string{"gzip"},
+	Insts:       500,
+}
+
+// submitWithKey submits sp with an Idempotency-Key header and returns
+// (job ID, HTTP status).
+func submitWithKey(t *testing.T, ts *httptest.Server, sp Spec, key string) (string, int) {
+	t.Helper()
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	return st.ID, resp.StatusCode
+}
+
+// TestCrashRecoveryReplaysAcceptedJobs is the tentpole contract: jobs a
+// server said 202 to survive an abrupt death (the server object is
+// simply abandoned, never Closed — the process-death analogue available
+// in-process) and a successor on the same log re-enqueues them, answers
+// idempotent resubmissions with the original IDs, runs everything to
+// completion, and a third server restores the finished results
+// byte-for-byte.
+func TestCrashRecoveryReplaysAcceptedJobs(t *testing.T) {
+	dir := t.TempDir()
+	logP := filepath.Join(dir, "joblog")
+	eng := func() *engine.Engine {
+		return engine.New(engine.Config{Workers: runtime.NumCPU(), CacheDir: filepath.Join(dir, "cache")})
+	}
+
+	// Server A: runners never started, so accepted jobs stay queued —
+	// then the server is abandoned mid-flight.
+	a, err := New(Config{Engine: eng(), JobLog: logP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	sp2 := quickSpec
+	sp2.Seed = 2
+	id1, code1 := submitWithKey(t, tsA, quickSpec, "key-1")
+	id2, code2 := submitWithKey(t, tsA, sp2, "")
+	if code1 != http.StatusAccepted || code2 != http.StatusAccepted {
+		t.Fatalf("submits: HTTP %d, %d, want 202s", code1, code2)
+	}
+	// Same key resubmitted to the SAME server: the existing job, 200.
+	if id, code := submitWithKey(t, tsA, quickSpec, "key-1"); code != http.StatusOK || id != id1 {
+		t.Fatalf("same-server idempotent resubmit: (%s, %d), want (%s, 200)", id, code, id1)
+	}
+	tsA.Close() // abandon a without Close: the crash
+
+	// Server B on the same log, runners still off: both jobs must be
+	// re-enqueued with their identities, and both resubmission paths —
+	// idempotency key, and bare spec matching a recovered incomplete job
+	// — must return the existing jobs instead of double-enqueuing.
+	b, err := New(Config{Engine: eng(), JobLog: logP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(b.Handler())
+	defer func() { tsB.Close(); b.Close() }()
+	if got := b.StatsSnapshot().JoblogRequeued; got != 2 {
+		t.Fatalf("requeued %d jobs, want 2", got)
+	}
+	if id, code := submitWithKey(t, tsB, quickSpec, "key-1"); code != http.StatusOK || id != id1 {
+		t.Fatalf("idempotency-key resubmit after crash: (%s, %d), want (%s, 200)", id, code, id1)
+	}
+	if id, code := submitWithKey(t, tsB, sp2, ""); code != http.StatusOK || id != id2 {
+		t.Fatalf("spec-key resubmit after crash: (%s, %d), want (%s, 200)", id, code, id2)
+	}
+	// A genuinely new spec gets a new ID beyond the recovered ones.
+	sp3 := quickSpec
+	sp3.Seed = 3
+	id3, code3 := submitWithKey(t, tsB, sp3, "")
+	if code3 != http.StatusAccepted {
+		t.Fatalf("new submit after recovery: HTTP %d", code3)
+	}
+	if id3 == id1 || id3 == id2 {
+		t.Fatalf("recovered-ID collision: new job got %s (recovered %s, %s)", id3, id1, id2)
+	}
+
+	b.Start()
+	for _, id := range []string{id1, id2, id3} {
+		if st := waitTerminal(t, tsB, id); st.State != StateDone {
+			t.Fatalf("recovered job %s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+	wantArts := jobArtifacts(t, tsB, id1)
+	tsB.Close()
+	b.Close()
+
+	// Server C: every finished job restores as a retrievable result.
+	c, err := New(Config{Engine: eng(), JobLog: logP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsC := httptest.NewServer(c.Handler())
+	defer func() { tsC.Close(); c.Close() }()
+	if got := c.StatsSnapshot().JoblogRestored; got != 3 {
+		t.Fatalf("restored %d finished jobs, want 3", got)
+	}
+	var st jobStatus
+	if code := getJSONT(t, tsC.URL+"/v1/jobs/"+id1, &st); code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("restored job %s: HTTP %d state %s, want 200 done", id1, code, st.State)
+	}
+	gotArts := jobArtifacts(t, tsC, id1)
+	if len(gotArts) != len(wantArts) || gotArts[0] != wantArts[0] {
+		t.Fatalf("restored artifacts diverge from pre-crash run:\n%+v\nvs\n%+v", gotArts, wantArts)
+	}
+}
+
+// TestDrainPersistsQueuedAbortsStuck: drain refuses new work with 503 +
+// Retry-After, leaves queued jobs persisted, cancels a still-running job
+// at the deadline WITHOUT a terminal log record — so a successor
+// re-enqueues and finishes everything.
+func TestDrainPersistsQueuedAbortsStuck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a multi-second job to hold a runner busy")
+	}
+	dir := t.TempDir()
+	logP := filepath.Join(dir, "joblog")
+	eng := func() *engine.Engine {
+		return engine.New(engine.Config{Workers: runtime.NumCPU(), CacheDir: filepath.Join(dir, "cache")})
+	}
+
+	a, err := New(Config{Engine: eng(), JobLog: logP, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	tsA := httptest.NewServer(a.Handler())
+
+	slow := Spec{Tenant: "default", Experiments: []string{"fig2", "fig4"}, Benchmarks: []string{"gzip", "mcf"}, Insts: 150_000}
+	slowID, code := submitWithKey(t, tsA, slow, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("slow submit: HTTP %d", code)
+	}
+	// Wait until the single runner has it running, then queue two more.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		var st jobStatus
+		getJSONT(t, tsA.URL+"/v1/jobs/"+slowID, &st)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow job never started running (state %s)", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	q1, _ := submitWithKey(t, tsA, quickSpec, "")
+	sp2 := quickSpec
+	sp2.Seed = 2
+	q2, _ := submitWithKey(t, tsA, sp2, "")
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	ds := a.Drain(dctx)
+	dcancel()
+	if ds.Persisted != 2 {
+		t.Fatalf("drain persisted %d queued jobs, want 2", ds.Persisted)
+	}
+	if ds.Aborted != 1 {
+		t.Fatalf("drain aborted %d running jobs, want the 1 slow job", ds.Aborted)
+	}
+
+	// Draining: new submissions are refused with 503 + Retry-After.
+	body, _ := json.Marshal(quickSpec)
+	resp, err := http.Post(tsA.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 while draining carries no Retry-After")
+	}
+	if !a.Draining() || !a.StatsSnapshot().Draining {
+		t.Fatal("server does not report draining")
+	}
+	tsA.Close()
+	a.Close()
+
+	// Successor: all three jobs — 2 persisted queued + 1 aborted running
+	// — recover and finish.
+	b, err := New(Config{Engine: eng(), JobLog: logP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(b.Handler())
+	defer func() { tsB.Close(); b.Close() }()
+	if got := b.StatsSnapshot().JoblogRequeued; got != 3 {
+		t.Fatalf("successor requeued %d jobs, want 3 (2 queued + 1 aborted)", got)
+	}
+	b.Start()
+	for _, id := range []string{slowID, q1, q2} {
+		if st := waitTerminal(t, tsB, id); st.State != StateDone {
+			t.Fatalf("job %s after drain+restart ended %s: %s", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestWatchdogKillsStuckJob: a spec-requested deadline kills a job that
+// outlives it, the terminal state is "deadline", the counter ticks, and
+// — because deadline is logged terminal — a restart does NOT re-run the
+// job into the same wall.
+func TestWatchdogKillsStuckJob(t *testing.T) {
+	dir := t.TempDir()
+	logP := filepath.Join(dir, "joblog")
+
+	s, err := New(Config{
+		Engine: engine.New(engine.Config{Workers: runtime.NumCPU()}),
+		JobLog: logP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+
+	stuck := Spec{Tenant: "default", Experiments: []string{"fig2", "fig4"}, Insts: 200_000, DeadlineSecs: 0.02}
+	id, code := submitWithKey(t, ts, stuck, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitTerminal(t, ts, id)
+	if st.State != StateDeadline {
+		t.Fatalf("stuck job ended %s (%s), want deadline", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "watchdog") {
+		t.Fatalf("deadline error %q does not mention the watchdog", st.Error)
+	}
+	if got := s.StatsSnapshot().StuckKilled; got != 1 {
+		t.Fatalf("stuck_killed = %d, want 1", got)
+	}
+	// The result endpoint reports the terminal error, not a hang.
+	if code := getJSONT(t, ts.URL+"/v1/jobs/"+id+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("result of deadlined job: HTTP %d, want 409", code)
+	}
+	ts.Close()
+	s.Close()
+
+	// Restart: the deadline state is terminal in the log — restored, not
+	// re-enqueued.
+	s2, err := New(Config{
+		Engine: engine.New(engine.Config{Workers: runtime.NumCPU()}),
+		JobLog: logP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	snap := s2.StatsSnapshot()
+	if snap.JoblogRequeued != 0 || snap.JoblogRestored != 1 {
+		t.Fatalf("after restart: requeued %d restored %d, want 0/1 (deadline is terminal)", snap.JoblogRequeued, snap.JoblogRestored)
+	}
+}
+
+// TestJobDeadlineResolution pins the clamp matrix: spec request beats
+// default, the max clamps both, and the max alone imposes a ceiling.
+func TestJobDeadlineResolution(t *testing.T) {
+	cases := []struct {
+		def, max time.Duration
+		spec     float64
+		want     time.Duration
+	}{
+		{0, 0, 0, 0},
+		{time.Minute, 0, 0, time.Minute},
+		{time.Minute, 0, 1, time.Second},
+		{0, time.Hour, 7200, time.Hour},
+		{0, time.Hour, 0, time.Hour},
+		{time.Minute, 30 * time.Second, 0, 30 * time.Second},
+	}
+	for i, tc := range cases {
+		s := &Server{defDeadline: tc.def, maxDeadline: tc.max}
+		if got := s.jobDeadline(Spec{DeadlineSecs: tc.spec}); got != tc.want {
+			t.Errorf("case %d (def %s max %s spec %gs): %s, want %s", i, tc.def, tc.max, tc.spec, got, tc.want)
+		}
+	}
+}
+
+// TestSSEHeartbeatReapsDeadClient: an events stream whose client hangs
+// up without the server noticing a request-context cancellation (a raw
+// TCP close) is detected by the heartbeat write and its goroutine
+// reaped — sse.active returns to zero.
+func TestSSEHeartbeatReapsDeadClient(t *testing.T) {
+	s, ts := newQueuedServer(t, Config{SSEHeartbeat: 5 * time.Millisecond})
+	id := submitOK(t, ts, quickSpec) // queued forever: the stream stays open
+
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /v1/jobs/%s/events HTTP/1.1\r\nHost: %s\r\n\r\n", id, u.Host)
+	// Read until the stream is live (the first bytes arrive), then hang up.
+	buf := make([]byte, 256)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read stream header: %v", err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); s.sseActive.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never registered as active")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn.Close()
+
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if s.sseActive.Load() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead client not reaped: sse.active = %d after 10s of 5ms heartbeats", s.sseActive.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -25,12 +25,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -38,6 +41,7 @@ import (
 	"time"
 
 	"clustersim/internal/engine"
+	"clustersim/internal/faultinject"
 	"clustersim/internal/metrics"
 )
 
@@ -66,34 +70,62 @@ type Config struct {
 	// MaxJobs bounds retained finished jobs; the oldest finished jobs
 	// are forgotten beyond it. <=0 means 16384.
 	MaxJobs int
+	// JobLog, when non-empty, is the path of the durable job log: every
+	// accepted job is fsynced there before the 202 is sent, and on
+	// startup the log is replayed — incomplete jobs re-enqueue, finished
+	// jobs restore as retrievable results. Empty means in-memory only
+	// (a crash loses queued and running jobs).
+	JobLog string
+	// DefaultJobDeadline is the stuck-job watchdog's per-job wall-clock
+	// deadline when the spec sets none. 0 means no default deadline.
+	DefaultJobDeadline time.Duration
+	// MaxJobDeadline clamps spec-requested deadlines (deadline_secs).
+	// 0 means no clamp.
+	MaxJobDeadline time.Duration
+	// SSEHeartbeat is the interval between `: ping` comments on idle
+	// event streams, which is how dead clients are detected and their
+	// stream goroutines reaped. <=0 means 15s.
+	SSEHeartbeat time.Duration
 }
 
 // Server is the multi-tenant simulation service. Create with New, wire
 // Handler into an http.Server, call Start, and Close on shutdown.
 type Server struct {
-	eng      *engine.Engine
-	met      *metrics.Registry
-	tenants  map[string]float64
-	q        *wfq
-	runners  int
-	maxInsts int
-	maxJobs  int
+	eng         *engine.Engine
+	met         *metrics.Registry
+	tenants     map[string]float64
+	q           *wfq
+	runners     int
+	maxInsts    int
+	maxJobs     int
+	defDeadline time.Duration
+	maxDeadline time.Duration
+	heartbeat   time.Duration
 
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	finished []string // finish order, for pruning
-	nextID   uint64
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	finished  []string // finish order, for pruning
+	nextID    uint64
+	jlog      *jobLog           // nil without Config.JobLog
+	idemIndex map[string]string // tenant\x00Idempotency-Key → job ID
+	recovered map[string]string // tenant\x00spec.Key() → incomplete recovered job ID
 
-	running atomic.Int64
-	ewmaNs  atomic.Int64 // EWMA of job wall time, for Retry-After
+	running   atomic.Int64
+	ewmaNs    atomic.Int64 // EWMA of job wall time, for Retry-After
+	draining  atomic.Bool
+	sseActive atomic.Int64
+	drainCh   chan struct{} // closed when draining starts
 
-	cSubmitted, cCompleted, cFailed *metrics.Counter
-	cCanceled, cRejected, cInvalid  *metrics.Counter
-	tJob                            *metrics.Timer
+	cSubmitted, cCompleted, cFailed   *metrics.Counter
+	cCanceled, cRejected, cInvalid    *metrics.Counter
+	cStuckKilled, cLogErr             *metrics.Counter
+	cRestored, cRequeued              *metrics.Counter
+	cDrainPersisted, cDrainAborted    *metrics.Counter
+	tJob                              *metrics.Timer
 }
 
 // New builds a Server from cfg. The returned server accepts submissions
@@ -126,30 +158,146 @@ func New(cfg Config) (*Server, error) {
 	if maxJobs <= 0 {
 		maxJobs = 16384
 	}
+	heartbeat := cfg.SSEHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		eng:      cfg.Engine,
-		met:      met,
-		tenants:  tenants,
-		q:        newWFQ(maxQueue),
-		runners:  runners,
-		maxInsts: maxInsts,
-		maxJobs:  maxJobs,
-		baseCtx:  ctx,
-		stop:     stop,
-		jobs:     map[string]*Job{},
+		eng:         cfg.Engine,
+		met:         met,
+		tenants:     tenants,
+		q:           newWFQ(maxQueue),
+		runners:     runners,
+		maxInsts:    maxInsts,
+		maxJobs:     maxJobs,
+		defDeadline: cfg.DefaultJobDeadline,
+		maxDeadline: cfg.MaxJobDeadline,
+		heartbeat:   heartbeat,
+		baseCtx:     ctx,
+		stop:        stop,
+		jobs:        map[string]*Job{},
+		idemIndex:   map[string]string{},
+		recovered:   map[string]string{},
+		drainCh:     make(chan struct{}),
 
-		cSubmitted: met.Counter("server.jobs.submitted"),
-		cCompleted: met.Counter("server.jobs.completed"),
-		cFailed:    met.Counter("server.jobs.failed"),
-		cCanceled:  met.Counter("server.jobs.canceled"),
-		cRejected:  met.Counter("server.jobs.rejected"),
-		cInvalid:   met.Counter("server.jobs.invalid"),
-		tJob:       met.Timer("server.job.run"),
+		cSubmitted:      met.Counter("server.jobs.submitted"),
+		cCompleted:      met.Counter("server.jobs.completed"),
+		cFailed:         met.Counter("server.jobs.failed"),
+		cCanceled:       met.Counter("server.jobs.canceled"),
+		cRejected:       met.Counter("server.jobs.rejected"),
+		cInvalid:        met.Counter("server.jobs.invalid"),
+		cStuckKilled:    met.Counter("server.jobs.stuck_killed"),
+		cLogErr:         met.Counter("server.joblog.error"),
+		cRestored:       met.Counter("server.joblog.restored"),
+		cRequeued:       met.Counter("server.joblog.requeued"),
+		cDrainPersisted: met.Counter("server.drain.persisted"),
+		cDrainAborted:   met.Counter("server.drain.aborted"),
+		tJob:            met.Timer("server.job.run"),
 	}
 	met.Func("server.queue.depth", func() int64 { return int64(s.q.depth()) })
 	met.Func("server.jobs.running", s.running.Load)
+	met.Func("server.sse.active", s.sseActive.Load)
+	if cfg.JobLog != "" {
+		if err := s.openLog(cfg.JobLog); err != nil {
+			stop()
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// openLog attaches the durable job log: replay the valid prefix, restore
+// finished jobs as retrievable results, re-enqueue incomplete ones, and
+// compact the log to the live state.
+func (s *Server) openLog(path string) error {
+	jl, recs, torn, err := openJobLog(path)
+	if err != nil {
+		return err
+	}
+	if torn > 0 {
+		fmt.Fprintf(os.Stderr, "server: job log %s: truncated %d-byte torn tail\n", path, torn)
+	}
+	s.jlog = jl
+	order, merged := mergeRecords(recs)
+	live := make([]jlRecord, 0, 2*len(order))
+	for _, id := range order {
+		jj := merged[id]
+		if !jj.accepted {
+			continue // finished/started records for a job the log never accepted
+		}
+		s.bumpNextID(id)
+		sp := *jj.rec.Spec
+		switch {
+		case jj.finished:
+			j := restoreFinishedJob(id, sp, jj.state, jj.arts, jj.errMsg, jj.rec.SubmittedAt)
+			j.idemKey = jj.rec.IdemKey
+			s.jobs[id] = j
+			s.finished = append(s.finished, id)
+			if j.idemKey != "" {
+				s.idemIndex[idxKey(sp.Tenant, j.idemKey)] = id
+			}
+			s.cRestored.Inc()
+			fin := jlRecord{Kind: jlFinished, ID: id, State: jj.state, Artifacts: jj.arts, Err: jj.errMsg}
+			live = append(live, jj.rec, fin)
+		default:
+			j := restoreQueuedJob(id, sp, jj.rec.IdemKey, jj.rec.SubmittedAt, jj.started)
+			weight, ok := s.tenants[sp.Tenant]
+			if !ok {
+				weight = 1 // tenant config changed across restarts; still honor the accepted work
+			}
+			s.jobs[id] = j
+			j.recoveredKey = idxKey(sp.Tenant, sp.Key())
+			s.recovered[j.recoveredKey] = id
+			if j.idemKey != "" {
+				s.idemIndex[idxKey(sp.Tenant, j.idemKey)] = id
+			}
+			live = append(live, jj.rec) // stays accepted even if the push below fails
+			if err := s.q.push(j, weight); err != nil {
+				// Queue bound smaller than the backlog: the job stays
+				// accepted in the log and recovers on a later start.
+				j.finish(StateCanceled, nil, "recovered job exceeded queue bound")
+				continue
+			}
+			s.cRequeued.Inc()
+		}
+	}
+	// Retention: prune the oldest restored finished jobs beyond the cap.
+	for len(s.finished) > s.maxJobs {
+		s.forgetLocked(s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	if err := jl.compact(live); err != nil {
+		return fmt.Errorf("server: compact job log: %w", err)
+	}
+	return nil
+}
+
+// bumpNextID advances the ID counter past a replayed job ID so new
+// submissions never collide with recovered ones.
+func (s *Server) bumpNextID(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+}
+
+// idxKey builds the (tenant, key) index key for the idempotency and
+// recovered-job maps.
+func idxKey(tenant, key string) string { return tenant + "\x00" + key }
+
+// forgetLocked removes a pruned job and its index entries (s.mu held, or
+// startup before the server is shared).
+func (s *Server) forgetLocked(id string) {
+	if j := s.jobs[id]; j != nil {
+		if j.idemKey != "" {
+			delete(s.idemIndex, idxKey(j.Spec.Tenant, j.idemKey))
+		}
+		if j.recoveredKey != "" {
+			delete(s.recovered, j.recoveredKey)
+		}
+	}
+	delete(s.jobs, id)
 }
 
 // Start launches the runner pool.
@@ -161,7 +309,9 @@ func (s *Server) Start() {
 }
 
 // Close stops admitting work, cancels queued and running jobs, and waits
-// for the runners to drain.
+// for the runners to drain. Shutdown-cancelled jobs are deliberately NOT
+// logged terminal: with a job log attached they stay accepted on disk
+// and re-enqueue on the next start.
 func (s *Server) Close() {
 	for _, j := range s.q.close() {
 		j.finish(StateCanceled, nil, "server shutting down")
@@ -169,7 +319,74 @@ func (s *Server) Close() {
 	}
 	s.stop() // cancels every running job's context
 	s.wg.Wait()
+	s.mu.Lock()
+	jl := s.jlog
+	s.jlog = nil
+	s.mu.Unlock()
+	jl.close()
 }
+
+// DrainStats reports what a graceful drain did with in-flight work.
+type DrainStats struct {
+	// Persisted is how many queued jobs were left for the next start
+	// (durable in the job log when one is attached).
+	Persisted int `json:"persisted"`
+	// Completed is how many running jobs finished within the deadline.
+	Completed int `json:"completed"`
+	// Aborted is how many running jobs were still going at the deadline
+	// and had their contexts cancelled; they too stay accepted in the
+	// job log and re-run on the next start.
+	Aborted int `json:"aborted"`
+}
+
+// Drain gracefully quiesces the server: new submissions get 503 with a
+// Retry-After, event streams and long-polls return, runners finish their
+// current jobs (bounded by ctx) and stop, and queued jobs are left
+// untouched — persisted by the job log for the next start. Running jobs
+// that outlive ctx are cancelled without a terminal log record, so they
+// also recover. Safe to call once; the HTTP handler keeps serving
+// status/result reads so clients can collect finished work until the
+// process exits.
+func (s *Server) Drain(ctx context.Context) DrainStats {
+	var ds DrainStats
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+	}
+	ds.Persisted = s.q.drain()
+	s.cDrainPersisted.Add(int64(ds.Persisted))
+
+	runningAtStart := int(s.running.Load())
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait() // runners exit once their current job finishes (pop returns false)
+		close(done)
+	}()
+	select {
+	case <-done:
+		ds.Completed = runningAtStart
+	case <-ctx.Done():
+		// Deadline: cancel what is still running; those jobs stay
+		// accepted (not logged terminal) and re-run after restart.
+		s.mu.Lock()
+		var stuck []*Job
+		for _, j := range s.jobs {
+			if j.currentState() == StateRunning {
+				stuck = append(stuck, j)
+			}
+		}
+		s.mu.Unlock()
+		for _, j := range stuck {
+			j.serverCancel()
+		}
+		ds.Aborted = len(stuck)
+		ds.Completed = runningAtStart - ds.Aborted
+		s.cDrainAborted.Add(int64(ds.Aborted))
+	}
+	return ds
+}
+
+// Draining reports whether the server has begun a graceful drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // runner executes queued jobs until the queue closes.
 func (s *Server) runner() {
@@ -192,6 +409,19 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	s.logAppend(jlRecord{Kind: jlStarted, ID: j.ID}, false)
+
+	// Stuck-job watchdog: a wall-clock deadline (spec-requested, clamped
+	// by the server, defaulted by config) cancels a runaway job through
+	// its own context.
+	if deadline := s.jobDeadline(j.Spec); deadline > 0 {
+		wd := time.AfterFunc(deadline, func() {
+			if j.markDeadline() {
+				cancel()
+			}
+		})
+		defer wd.Stop()
+	}
 
 	start := time.Now()
 	opts := j.Spec.options()
@@ -222,14 +452,66 @@ func (s *Server) runJob(j *Job) {
 	case runErr == nil:
 		j.finish(StateDone, artifacts, "")
 		s.cCompleted.Inc()
+		s.logFinished(j)
+	case j.wasDeadlined():
+		j.finish(StateDeadline, nil, fmt.Sprintf("killed by the stuck-job watchdog after %s", dur.Round(time.Millisecond)))
+		s.cStuckKilled.Inc()
+		s.logFinished(j) // terminal: a restart must not re-run it into the same wall
 	case ctx.Err() != nil || errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
 		j.finish(StateCanceled, nil, "canceled")
 		s.cCanceled.Inc()
+		// Client cancels are terminal and logged; server-initiated
+		// cancels (drain timeout, shutdown) are not — the job stays
+		// accepted in the log and re-runs on the next start.
+		if j.wasClientCanceled() {
+			s.logFinished(j)
+		}
 	default:
 		j.finish(StateFailed, nil, runErr.Error())
 		s.cFailed.Inc()
+		s.logFinished(j)
 	}
 	s.noteFinished(j.ID)
+}
+
+// jobDeadline resolves a job's watchdog deadline: the spec's request
+// (clamped to MaxJobDeadline) or the server default.
+func (s *Server) jobDeadline(sp Spec) time.Duration {
+	d := time.Duration(sp.DeadlineSecs * float64(time.Second))
+	if d <= 0 {
+		d = s.defDeadline
+	}
+	if s.maxDeadline > 0 && (d <= 0 || d > s.maxDeadline) {
+		d = s.maxDeadline
+	}
+	return d
+}
+
+// logAppend appends one record to the job log (a no-op without one).
+// With required set, failures propagate — the caller must refuse the
+// work; otherwise they are counted and absorbed (a restart just re-runs
+// the affected job).
+func (s *Server) logAppend(rec jlRecord, required bool) error {
+	s.mu.Lock()
+	jl := s.jlog
+	s.mu.Unlock()
+	if jl == nil {
+		return nil
+	}
+	if err := jl.append(rec); err != nil {
+		s.cLogErr.Inc()
+		if required {
+			return err
+		}
+	}
+	return nil
+}
+
+// logFinished records a job's terminal state (with artifacts for done
+// jobs, so they restore as retrievable results).
+func (s *Server) logFinished(j *Job) {
+	arts, state, errMsg := j.results()
+	s.logAppend(jlRecord{Kind: jlFinished, ID: j.ID, State: state, Artifacts: arts, Err: errMsg}, false)
 }
 
 // clampReplayWorkers resolves a job's intra-job variant fan-out width
@@ -294,14 +576,19 @@ func (s *Server) retryAfter() int {
 	return secs
 }
 
-// noteFinished records finish order and prunes beyond the retention
-// bound.
+// noteFinished records finish order, releases the job's recovered-index
+// entry (a finished job no longer matches crash-retry resubmissions),
+// and prunes beyond the retention bound.
 func (s *Server) noteFinished(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if j := s.jobs[id]; j != nil && j.recoveredKey != "" {
+		delete(s.recovered, j.recoveredKey)
+		j.recoveredKey = ""
+	}
 	s.finished = append(s.finished, id)
 	for len(s.finished) > s.maxJobs {
-		delete(s.jobs, s.finished[0])
+		s.forgetLocked(s.finished[0])
 		s.finished = s.finished[1:]
 	}
 }
@@ -334,10 +621,28 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// handleSubmit admits one spec.
+// handleSubmit admits one spec. With a job log attached, the accepted
+// record is fsynced before the 202 leaves: a job the client believes
+// accepted is always recoverable. Resubmissions carrying the same
+// Idempotency-Key — or matching an incomplete log-recovered (tenant,
+// spec-key) entry — return the existing job instead of double-enqueuing.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "10")
+		writeErr(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = faultinject.Err("server.request.read")
+	}
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "request read failed: "+err.Error())
+		return
+	}
 	var sp Spec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sp); err != nil {
 		s.cInvalid.Inc()
@@ -356,17 +661,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	idem := r.Header.Get("Idempotency-Key")
 	s.mu.Lock()
+	if idem != "" {
+		if id, ok := s.idemIndex[idxKey(sp.Tenant, idem)]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, j.snapshot())
+			return
+		}
+	}
+	if id, ok := s.recovered[idxKey(sp.Tenant, sp.Key())]; ok {
+		// A crash-recovered incomplete job with this exact work: the
+		// retrying client gets it back instead of enqueuing a duplicate.
+		j := s.jobs[id]
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
 	s.nextID++
 	id := fmt.Sprintf("job-%06d", s.nextID)
 	j := newJob(id, sp)
+	j.idemKey = idem
 	s.jobs[id] = j
+	if idem != "" {
+		s.idemIndex[idxKey(sp.Tenant, idem)] = id
+	}
 	s.mu.Unlock()
 
-	if err := s.q.push(j, weight); err != nil {
+	reject := func() {
 		s.mu.Lock()
-		delete(s.jobs, id)
+		s.forgetLocked(id)
 		s.mu.Unlock()
+	}
+	if err := s.q.push(j, weight); err != nil {
+		reject()
 		s.cRejected.Inc()
 		if errors.Is(err, ErrQueueFull) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
@@ -374,6 +703,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		} else {
 			writeErr(w, http.StatusServiceUnavailable, "server shutting down")
 		}
+		return
+	}
+	// Write-ahead: the accepted record must be durable before the client
+	// hears 202. On failure the job is withdrawn and the client retries.
+	if err := s.logAppend(acceptedRecord(j), true); err != nil {
+		j.requestCancel() // queued: finishes immediately; pop skips it
+		reject()
+		s.cRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "job log append failed: "+err.Error())
 		return
 	}
 	s.cSubmitted.Inc()
@@ -402,6 +741,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		case <-time.After(wait):
 		case <-r.Context().Done():
 			return
+		case <-s.drainCh: // drain releases long-polls promptly
 		}
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
@@ -420,7 +760,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"id": j.ID, "state": state, "artifacts": artifacts,
 		})
-	case StateFailed, StateCanceled:
+	case StateFailed, StateCanceled, StateDeadline:
 		writeJSON(w, http.StatusConflict, map[string]any{
 			"id": j.ID, "state": state, "error": errMsg,
 		})
@@ -430,7 +770,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams a job's progress as Server-Sent Events until it
-// reaches a terminal state.
+// reaches a terminal state. Idle streams carry `: ping` heartbeat
+// comments every SSEHeartbeat: a dead client surfaces as a write error
+// on the next ping, so its stream goroutine is reaped instead of parked
+// forever on a job that may never finish. Drain ends every stream so
+// shutdown is never blocked by a hung client.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
@@ -442,16 +786,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotImplemented, "streaming unsupported")
 		return
 	}
+	s.sseActive.Add(1)
+	defer s.sseActive.Add(-1)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	// sseWrite surfaces both injected faults and real dead-client write
+	// errors; any error ends the stream.
+	sseWrite := func(format string, args ...any) error {
+		if err := faultinject.Err("server.sse.write"); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
 	seq := 0
 	for {
 		evs, state, updated := j.eventsSince(seq)
 		for _, ev := range evs {
 			data, _ := json.Marshal(ev)
-			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+			if sseWrite("event: progress\ndata: %s\n\n", data) != nil {
+				return
+			}
 			seq = ev.Seq + 1
 		}
 		if len(evs) > 0 {
@@ -459,7 +819,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		if state.terminal() {
 			data, _ := json.Marshal(j.snapshot())
-			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			sseWrite("event: done\ndata: %s\n\n", data)
 			fl.Flush()
 			return
 		}
@@ -468,8 +828,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-j.done:
 		case <-r.Context().Done():
 			return
-		case <-time.After(30 * time.Second):
-			fmt.Fprint(w, ": keepalive\n\n")
+		case <-s.drainCh:
+			sseWrite("event: draining\ndata: {\"msg\":\"server draining; reconnect after restart\"}\n\n")
+			fl.Flush()
+			return
+		case <-heartbeat.C:
+			if sseWrite(": ping\n\n") != nil {
+				return // dead client: reap the stream
+			}
 			fl.Flush()
 		}
 	}
@@ -506,6 +872,16 @@ type Stats struct {
 	Rejected  int64 `json:"jobs_rejected"`
 	Invalid   int64 `json:"jobs_invalid"`
 
+	// Crash-safety layer (see DESIGN.md "Failure model & recovery").
+	StuckKilled    int64 `json:"jobs_stuck_killed"`
+	JoblogErrors   int64 `json:"joblog_errors"`
+	JoblogRestored int64 `json:"joblog_restored"`
+	JoblogRequeued int64 `json:"joblog_requeued"`
+	DrainPersisted int64 `json:"drain_persisted"`
+	DrainAborted   int64 `json:"drain_aborted"`
+	Draining       bool  `json:"draining"`
+	SSEActive      int64 `json:"sse_active"`
+
 	SimHits     int64   `json:"sim_hits"`
 	SimDiskHits int64   `json:"sim_disk_hits"`
 	SimMisses   int64   `json:"sim_misses"`
@@ -540,6 +916,16 @@ func (s *Server) StatsSnapshot() Stats {
 		Canceled:    s.cCanceled.Load(),
 		Rejected:    s.cRejected.Load(),
 		Invalid:     s.cInvalid.Load(),
+
+		StuckKilled:    s.cStuckKilled.Load(),
+		JoblogErrors:   s.cLogErr.Load(),
+		JoblogRestored: s.cRestored.Load(),
+		JoblogRequeued: s.cRequeued.Load(),
+		DrainPersisted: s.cDrainPersisted.Load(),
+		DrainAborted:   s.cDrainAborted.Load(),
+		Draining:       s.draining.Load(),
+		SSEActive:      s.sseActive.Load(),
+
 		SimHits:     es.SimHits,
 		SimDiskHits: es.SimDiskHits,
 		SimMisses:   es.SimMisses,
@@ -564,8 +950,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
-// writeJSON writes v with status code.
+// writeJSON writes v with status code. The response write is a fault
+// injection site: under chaos an otherwise-successful request can lose
+// its response mid-flight, which is exactly the window the job log's
+// idempotent resubmission exists for.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	if err := faultinject.Err("server.response.write"); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": "injected response fault: " + err.Error()})
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)

@@ -39,6 +39,7 @@ func TestSubmitContract(t *testing.T) {
 		{"negative fwd", `{"tenant":"alice","experiments":["fig2"],"fwd":-2}`, http.StatusBadRequest, "negative forwarding"},
 		{"negative epoch", `{"tenant":"alice","experiments":["fig2"],"epoch_len":-8}`, http.StatusBadRequest, "negative epoch"},
 		{"negative replay workers", `{"tenant":"alice","experiments":["fig2"],"replay_workers":-3}`, http.StatusBadRequest, "negative replay workers"},
+		{"negative deadline", `{"tenant":"alice","experiments":["fig2"],"deadline_secs":-1}`, http.StatusBadRequest, "negative deadline"},
 		{"unknown field", `{"tenant":"alice","experiments":["fig2"],"bogus":1}`, http.StatusBadRequest, "bad spec"},
 		{"malformed json", `{"tenant":`, http.StatusBadRequest, "bad spec"},
 	}

@@ -46,6 +46,13 @@ type Spec struct {
 	// jobs differing only here must share cache entries and divergence
 	// baselines.
 	ReplayWorkers int `json:"replay_workers,omitempty"`
+	// DeadlineSecs is the job's wall-clock deadline: if the job is still
+	// running this many seconds after it starts, the stuck-job watchdog
+	// cancels it into the terminal "deadline" state. 0 means the server
+	// default; the server clamps requests to its configured maximum.
+	// Excluded from Key() like ReplayWorkers: a deadline changes whether
+	// a job finishes, never the bytes it produces.
+	DeadlineSecs float64 `json:"deadline_secs,omitempty"`
 }
 
 // normalized returns the spec with the experiments-package defaults
@@ -220,6 +227,9 @@ func validateSpec(sp Spec, maxInsts int) string {
 	}
 	if sp.ReplayWorkers < 0 {
 		return "negative replay workers"
+	}
+	if sp.DeadlineSecs < 0 {
+		return "negative deadline"
 	}
 	known := map[string]bool{}
 	for _, b := range workload.Names() {

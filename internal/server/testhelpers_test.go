@@ -70,46 +70,62 @@ func postBody(t *testing.T, ts *httptest.Server, body string) (*http.Response, [
 	return resp, data
 }
 
-// submitOK submits a spec and returns the accepted job's ID.
+// submitOK submits a spec and returns the accepted job's ID. Injected
+// network faults (503 refused read/log append, 500 lost response) are
+// retried bounded — under chaos a lost response may enqueue the job
+// anyway, in which case the retry's job is an engine-cache twin.
 func submitOK(t *testing.T, ts *httptest.Server, sp Spec) string {
 	t.Helper()
 	body, err := json.Marshal(sp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, data := postBody(t, ts, string(body))
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+	for attempt := 0; ; attempt++ {
+		resp, data := postBody(t, ts, string(body))
+		if resp.StatusCode >= 500 && attempt < 20 {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, data)
+		}
+		var st jobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+		if st.ID == "" || st.State != StateQueued {
+			t.Fatalf("submit response %+v: want non-empty ID in state queued", st)
+		}
+		return st.ID
 	}
-	var st jobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
-		t.Fatalf("decode submit response: %v", err)
-	}
-	if st.ID == "" || st.State != StateQueued {
-		t.Fatalf("submit response %+v: want non-empty ID in state queued", st)
-	}
-	return st.ID
 }
 
 // getJSONT GETs url and decodes the body into out, returning the status
-// code.
+// code. 5xx answers (only injected faults produce them on GETs) are
+// retried bounded.
 func getJSONT(t *testing.T, url string, out any) int {
 	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatalf("GET %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatalf("read %s: %v", url, err)
-	}
-	if out != nil {
-		if err := json.Unmarshal(data, out); err != nil {
-			t.Fatalf("decode %s: %v (body %q)", url, err, data)
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
 		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read %s: %v", url, err)
+		}
+		if resp.StatusCode >= 500 && attempt < 20 {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if out != nil && resp.StatusCode < 500 {
+			if err := json.Unmarshal(data, out); err != nil {
+				t.Fatalf("decode %s: %v (body %q)", url, err, data)
+			}
+		}
+		return resp.StatusCode
 	}
-	return resp.StatusCode
 }
 
 // waitTerminal long-polls the status endpoint until the job reaches a
