@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"clustersim/internal/engine"
@@ -74,9 +75,15 @@ type jlRecord struct {
 var errJobLogBroken = errors.New("server: job log broken (unrepairable torn append)")
 
 // jobLog is the append handle. Replay happens once at open; after that
-// the log is append-only.
+// the log is append-only. Appends come from the submit handler and every
+// runner goroutine concurrently, so mu serializes all file mutation: an
+// unserialized rollback would truncate to a stale size and cut off a
+// record another goroutine had already fsynced (and whose 202 the client
+// already holds).
 type jobLog struct {
-	path   string
+	path string
+
+	mu     sync.Mutex
 	f      *os.File
 	size   int64 // bytes of valid, fsynced frames
 	broken bool
@@ -135,6 +142,12 @@ func openJobLog(path string) (*jobLog, []jlRecord, int64, error) {
 	if err != nil {
 		return nil, nil, torn, fmt.Errorf("server: open job log: %w", err)
 	}
+	// The file may have just been created: make its directory entry
+	// durable before any accepted record is acknowledged through it.
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, nil, torn, fmt.Errorf("server: sync job log dir: %w", err)
+	}
 	return &jobLog{path: path, f: f, size: valid}, recs, torn, nil
 }
 
@@ -151,8 +164,13 @@ func (l *jobLog) append(rec jlRecord) error {
 		return err
 	}
 	framed := engine.EncodeFrame(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.broken {
 		return errJobLogBroken
+	}
+	if l.f == nil {
+		return errors.New("server: job log closed")
 	}
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
@@ -204,16 +222,36 @@ func (l *jobLog) writeOnce(framed []byte) error {
 	return nil
 }
 
-// rollback truncates the file to the last fsynced frame boundary. With
-// O_APPEND, the next write lands at the new end.
+// rollback truncates the file to the last fsynced frame boundary (l.mu
+// held, via append). With O_APPEND, the next write lands at the new end.
 func (l *jobLog) rollback() error {
 	return l.f.Truncate(l.size)
+}
+
+// syncDir fsyncs a directory. Creating or renaming a file only makes it
+// durable once the parent directory's entry reaches disk too; without
+// this a post-power-loss mount can resurrect the old inode, dropping
+// every fsynced record written since — a loss the kill -9 chaos harness
+// can never see because the page cache survives process death.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // compact atomically rewrites the log to exactly recs (the live state
 // after a replay), bounding growth across restarts: temp file, fsync,
 // rename over the original, reopen for append.
 func (l *jobLog) compact(recs []jlRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	dir := filepath.Dir(l.path)
 	tmp, err := os.CreateTemp(dir, ".joblog-*")
 	if err != nil {
@@ -244,6 +282,11 @@ func (l *jobLog) compact(recs []jlRecord) error {
 	if err := os.Rename(tmp.Name(), l.path); err != nil {
 		return err
 	}
+	// The rename itself must survive power loss, or the directory entry
+	// reverts to the old inode and takes every later append with it.
+	if err := syncDir(dir); err != nil {
+		return err
+	}
 	old := l.f
 	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -257,7 +300,12 @@ func (l *jobLog) compact(recs []jlRecord) error {
 
 // close syncs and closes the log.
 func (l *jobLog) close() error {
-	if l == nil || l.f == nil {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
 		return nil
 	}
 	l.f.Sync()

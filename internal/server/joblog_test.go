@@ -2,8 +2,10 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -157,6 +159,66 @@ func TestJobLogAppendFaults(t *testing.T) {
 	for i, id := range ok {
 		if recs[i].ID != id {
 			t.Fatalf("record %d: ID %s, want %s", i, recs[i].ID, id)
+		}
+	}
+}
+
+// TestJobLogConcurrentAppendFaults: appends arrive concurrently — the
+// submit handler writes accepted records while every runner goroutine
+// writes started/finished — with the write path faulting. The log's
+// internal lock must serialize write+rollback, or a failed append's
+// rollback truncates to a stale size and cuts off a record another
+// goroutine had already fsynced (and whose 202 the client already
+// holds). Every append that reported success must replay after reopen.
+func TestJobLogConcurrentAppendFaults(t *testing.T) {
+	path := logPath(t)
+	l, _, _, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(41, 0.3)
+	sp := Spec{Tenant: "a", Experiments: []string{"fig2"}}
+	const writers, perWriter = 8, 25
+	var mu sync.Mutex
+	ok := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("job-%d-%d", w, i)
+				if l.append(jlRecord{Kind: jlAccepted, ID: id, Spec: &sp}) == nil {
+					mu.Lock()
+					ok[id] = true
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	faultinject.Disable()
+	if len(ok) == 0 {
+		t.Fatal("no append survived 30% fault injection — suspicious")
+	}
+
+	if err := l.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	l, recs, torn, err := openJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.close()
+	if torn != 0 {
+		t.Fatalf("replay found %d torn bytes; serialized rollback should leave no mid-file damage", torn)
+	}
+	if len(recs) != len(ok) {
+		t.Fatalf("replayed %d records, want the %d successful appends", len(recs), len(ok))
+	}
+	for _, rec := range recs {
+		if !ok[rec.ID] {
+			t.Fatalf("replayed %s, which never reported a successful append", rec.ID)
 		}
 	}
 }

@@ -295,8 +295,89 @@ func TestWatchdogKillsStuckJob(t *testing.T) {
 	}
 }
 
+// TestRecoveredJobOverflowReleasesIndex: a recovered job that doesn't
+// fit the successor's queue bound is canceled in memory but must not
+// linger in the recovered index — a retrying client resubmitting that
+// spec gets a fresh job that actually runs, not a permanent dedupe onto
+// the canceled husk — and it must enter the finish list so retention
+// prunes it like any other terminal job.
+func TestRecoveredJobOverflowReleasesIndex(t *testing.T) {
+	dir := t.TempDir()
+	logP := filepath.Join(dir, "joblog")
+	eng := func() *engine.Engine {
+		return engine.New(engine.Config{Workers: runtime.NumCPU(), CacheDir: filepath.Join(dir, "cache")})
+	}
+
+	// Server A: runners off, three jobs accepted and abandoned.
+	a, err := New(Config{Engine: eng(), JobLog: logP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	var ids []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		sp := quickSpec
+		sp.Seed = seed
+		id, code := submitWithKey(t, tsA, sp, "")
+		if code != http.StatusAccepted {
+			t.Fatalf("submit seed %d: HTTP %d", seed, code)
+		}
+		ids = append(ids, id)
+	}
+	tsA.Close() // crash
+
+	// Server B replays the same log behind a queue bound of 1: one job
+	// requeues, two overflow.
+	b, err := New(Config{Engine: eng(), JobLog: logP, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(b.Handler())
+	defer func() { tsB.Close(); b.Close() }()
+	if got := b.StatsSnapshot().JoblogRequeued; got != 1 {
+		t.Fatalf("requeued %d jobs, want 1 (queue bound)", got)
+	}
+	if got := len(b.recovered); got != 1 {
+		t.Fatalf("recovered index holds %d entries, want 1: overflow jobs must release theirs", got)
+	}
+	if got := len(b.finished); got != 2 {
+		t.Fatalf("finish list holds %d jobs, want the 2 overflowed ones (so they prune)", got)
+	}
+	overflowed := 0
+	for _, id := range ids {
+		if b.lookup(id).currentState() == StateCanceled {
+			overflowed++
+		}
+	}
+	if overflowed != 2 {
+		t.Fatalf("%d recovered jobs canceled, want 2", overflowed)
+	}
+
+	// Once the survivor drains, resubmitting an overflowed spec must
+	// enqueue fresh work that runs to done — not return the canceled job.
+	b.Start()
+	for _, id := range ids {
+		if b.lookup(id).currentState() == StateCanceled {
+			continue
+		}
+		if st := waitTerminal(t, tsB, id); st.State != StateDone {
+			t.Fatalf("requeued job %s ended %s: %s", id, st.State, st.Error)
+		}
+	}
+	sp := quickSpec
+	sp.Seed = 2 // one of the overflowed seeds
+	id, code := submitWithKey(t, tsB, sp, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit of overflowed spec: HTTP %d, want 202 (a fresh job)", code)
+	}
+	if st := waitTerminal(t, tsB, id); st.State != StateDone {
+		t.Fatalf("resubmitted job %s ended %s: %s", id, st.State, st.Error)
+	}
+}
+
 // TestJobDeadlineResolution pins the clamp matrix: spec request beats
-// default, the max clamps both, and the max alone imposes a ceiling.
+// default, the max clamps both, but the max alone never imposes a
+// deadline on a job that requested none.
 func TestJobDeadlineResolution(t *testing.T) {
 	cases := []struct {
 		def, max time.Duration
@@ -307,7 +388,7 @@ func TestJobDeadlineResolution(t *testing.T) {
 		{time.Minute, 0, 0, time.Minute},
 		{time.Minute, 0, 1, time.Second},
 		{0, time.Hour, 7200, time.Hour},
-		{0, time.Hour, 0, time.Hour},
+		{0, time.Hour, 0, 0},
 		{time.Minute, 30 * time.Second, 0, 30 * time.Second},
 	}
 	for i, tc := range cases {

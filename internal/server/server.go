@@ -255,8 +255,15 @@ func (s *Server) openLog(path string) error {
 			live = append(live, jj.rec) // stays accepted even if the push below fails
 			if err := s.q.push(j, weight); err != nil {
 				// Queue bound smaller than the backlog: the job stays
-				// accepted in the log and recovers on a later start.
+				// accepted in the log and recovers on a later start, but
+				// in memory it is terminal — drop its recovered-index
+				// entry so retrying resubmissions re-run the work instead
+				// of deduping onto a canceled husk, and record it finished
+				// so retention prunes it like any other terminal job.
+				delete(s.recovered, j.recoveredKey)
+				j.recoveredKey = ""
 				j.finish(StateCanceled, nil, "recovered job exceeded queue bound")
+				s.finished = append(s.finished, id)
 				continue
 			}
 			s.cRequeued.Inc()
@@ -474,14 +481,21 @@ func (s *Server) runJob(j *Job) {
 	s.noteFinished(j.ID)
 }
 
-// jobDeadline resolves a job's watchdog deadline: the spec's request
-// (clamped to MaxJobDeadline) or the server default.
+// jobDeadline resolves a job's watchdog deadline: the spec's request,
+// falling back to the server default, clamped to MaxJobDeadline. A job
+// with neither a requested nor a default deadline runs unbounded — the
+// max only clamps deadlines that exist, it never imposes one, so long
+// legitimate jobs aren't watchdog-killed just because -max-job-deadline
+// is set.
 func (s *Server) jobDeadline(sp Spec) time.Duration {
 	d := time.Duration(sp.DeadlineSecs * float64(time.Second))
 	if d <= 0 {
 		d = s.defDeadline
 	}
-	if s.maxDeadline > 0 && (d <= 0 || d > s.maxDeadline) {
+	if d <= 0 {
+		return 0
+	}
+	if s.maxDeadline > 0 && d > s.maxDeadline {
 		d = s.maxDeadline
 	}
 	return d
@@ -637,6 +651,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		err = faultinject.Err("server.request.read")
 	}
 	if err != nil {
+		// An oversized body is a permanent client error — a 503 here
+		// would have well-behaved clients retrying it forever.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.cInvalid.Inc()
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusServiceUnavailable, "request read failed: "+err.Error())
 		return

@@ -42,6 +42,9 @@ func TestSubmitContract(t *testing.T) {
 		{"negative deadline", `{"tenant":"alice","experiments":["fig2"],"deadline_secs":-1}`, http.StatusBadRequest, "negative deadline"},
 		{"unknown field", `{"tenant":"alice","experiments":["fig2"],"bogus":1}`, http.StatusBadRequest, "bad spec"},
 		{"malformed json", `{"tenant":`, http.StatusBadRequest, "bad spec"},
+		// Oversized bodies are a permanent client error: 413, never a
+		// retryable 503.
+		{"oversized body", `{"pad":"` + strings.Repeat("x", 1<<20) + `"}`, http.StatusRequestEntityTooLarge, "exceeds"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
